@@ -1,0 +1,284 @@
+// Benchmarks regenerating every table and figure of the paper (run with
+// `go test -bench=. -benchmem`), plus the §5.4 overhead measurements and
+// the ablation studies listed in DESIGN.md.
+//
+// The BenchmarkFigN benches run the corresponding experiment driver at a
+// reduced workload scale per iteration and report headline metrics via
+// b.ReportMetric; `cmd/arvbench -run figN` prints the full tables at
+// paper scale.
+package arv_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"arv"
+	"arv/internal/container"
+	"arv/internal/experiments"
+	"arv/internal/host"
+	"arv/internal/jvm"
+	"arv/internal/sysns"
+	"arv/internal/units"
+	"arv/internal/workloads"
+)
+
+// benchScale keeps per-iteration experiment runs affordable.
+const benchScale = 0.15
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := experiments.Lookup(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	opts := experiments.Options{Scale: benchScale}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := e.Run(opts)
+		if len(res.Tables) == 0 && len(res.Notes) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+func BenchmarkFig1(b *testing.B)  { runExperiment(b, "fig1") }
+func BenchmarkFig2a(b *testing.B) { runExperiment(b, "fig2a") }
+func BenchmarkFig2b(b *testing.B) { runExperiment(b, "fig2b") }
+func BenchmarkFig6(b *testing.B)  { runExperiment(b, "fig6") }
+func BenchmarkFig7(b *testing.B)  { runExperiment(b, "fig7") }
+func BenchmarkFig8(b *testing.B)  { runExperiment(b, "fig8") }
+func BenchmarkFig9(b *testing.B)  { runExperiment(b, "fig9") }
+func BenchmarkFig10(b *testing.B) { runExperiment(b, "fig10") }
+func BenchmarkFig11(b *testing.B) { runExperiment(b, "fig11") }
+func BenchmarkFig12(b *testing.B) { runExperiment(b, "fig12") }
+
+// --- §5.4 overhead: the cost of maintaining and querying the views ---
+
+// overheadHost builds a host with ten busy containers, the densest
+// configuration the paper measures.
+func overheadHost() (*host.Host, *container.Container) {
+	h := host.New(host.Config{CPUs: 20, Memory: 128 * units.GiB, Seed: 1})
+	var first *container.Container
+	for i := 0; i < 10; i++ {
+		c := h.Runtime.Create(container.Spec{Name: fmt.Sprintf("c%d", i)})
+		c.Exec("app")
+		if first == nil {
+			first = c
+		}
+		for k := 0; k < 2; k++ {
+			t := h.Sched.NewTask(c.Cgroup.CPU, "t")
+			h.Sched.SetRunnable(t, true)
+		}
+	}
+	h.Run(100 * time.Millisecond)
+	return h, first
+}
+
+// BenchmarkSysnsUpdate measures one full ns_monitor round (Algorithm 1 +
+// Algorithm 2 for all ten containers); the paper reports ~1us per
+// namespace on its testbed.
+func BenchmarkSysnsUpdate(b *testing.B) {
+	h, _ := overheadHost()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Monitor.UpdateAll(h.Now())
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/10, "ns/namespace")
+}
+
+// BenchmarkSysconfCPU measures a containerized _SC_NPROCESSORS_ONLN
+// query through the virtual sysfs (paper: ~5us including the syscall
+// path, which the simulation does not pay).
+func BenchmarkSysconfCPU(b *testing.B) {
+	_, c := overheadHost()
+	v := c.View()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := v.Sysconf(arv.ScNProcessorsOnln); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSysconfMemory measures the effective-memory query
+// (_SC_PHYS_PAGES * _SC_PAGESIZE); the paper reports ~100us because it
+// walks several sysinfo files.
+func BenchmarkSysconfMemory(b *testing.B) {
+	_, c := overheadHost()
+	v := c.View()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pages, err := v.Sysconf(arv.ScPhysPages)
+		if err != nil {
+			b.Fatal(err)
+		}
+		psize, _ := v.Sysconf(arv.ScPageSize)
+		_ = pages * psize
+	}
+}
+
+// BenchmarkVirtualSysfsRead measures reading the container's
+// /sys/devices/system/cpu/online pseudo-file.
+func BenchmarkVirtualSysfsRead(b *testing.B) {
+	_, c := overheadHost()
+	v := c.View()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := v.ReadFile("/sys/devices/system/cpu/online"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSchedulerTick measures the fluid CFS allocation round with
+// ten contending groups — the per-tick cost of the whole substrate.
+func BenchmarkSchedulerTick(b *testing.B) {
+	h, _ := overheadHost()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Sched.Tick(h.Now(), time.Millisecond)
+	}
+}
+
+// --- ablations (design choices called out in DESIGN.md §6) ---
+
+// ablationRun executes the Fig. 6 xalan scenario (five equal-share
+// containers, adaptive JVMs) under the given namespace options and
+// returns mean exec and GC time.
+func ablationRun(b *testing.B, opts sysns.Options) (exec, gc time.Duration) {
+	b.Helper()
+	h := host.New(host.Config{CPUs: 20, Memory: 128 * units.GiB, NSOptions: opts, Seed: 1})
+	w := workloads.DaCapo("xalan")
+	w.TotalWork = units.CPUSeconds(float64(w.TotalWork) * benchScale)
+	ctrs := make([]*container.Container, 5)
+	for i := range ctrs {
+		ctrs[i] = h.Runtime.Create(container.Spec{Name: fmt.Sprintf("c%d", i), Gamma: 0.5})
+		ctrs[i].Exec("java")
+	}
+	jvms := make([]*jvm.JVM, 5)
+	for i, ctr := range ctrs {
+		jvms[i] = jvm.New(h, ctr, w, jvm.Config{Policy: jvm.Adaptive, Xmx: 3 * w.MinHeap})
+		jvms[i].Start()
+	}
+	if !h.RunUntilDone(time.Hour) {
+		b.Fatal("ablation run did not finish")
+	}
+	for _, j := range jvms {
+		exec += j.Stats.ExecTime()
+		gc += j.Stats.GCTime
+	}
+	return exec / 5, gc / 5
+}
+
+func reportAblation(b *testing.B, opts sysns.Options) {
+	var exec, gc time.Duration
+	for i := 0; i < b.N; i++ {
+		exec, gc = ablationRun(b, opts)
+	}
+	b.ReportMetric(exec.Seconds(), "exec-s")
+	b.ReportMetric(gc.Seconds(), "gc-s")
+}
+
+// BenchmarkAblationUtilThreshold sweeps Algorithm 1's UTIL_THRSHD
+// around the published 95%.
+func BenchmarkAblationUtilThreshold(b *testing.B) {
+	for _, th := range []float64{0.50, 0.80, 0.95, 0.99} {
+		b.Run(fmt.Sprintf("thr=%.2f", th), func(b *testing.B) {
+			reportAblation(b, sysns.Options{UtilThreshold: th})
+		})
+	}
+}
+
+// BenchmarkAblationStepSize compares the published +/-1-CPU-per-update
+// rate limit against coarser jumps.
+func BenchmarkAblationStepSize(b *testing.B) {
+	for _, step := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("step=%d", step), func(b *testing.B) {
+			reportAblation(b, sysns.Options{CPUStep: step})
+		})
+	}
+}
+
+// BenchmarkAblationUpdatePeriod compares the scheduling-period-coupled
+// update interval against fixed timers.
+func BenchmarkAblationUpdatePeriod(b *testing.B) {
+	run := func(b *testing.B, fixed time.Duration) {
+		var exec time.Duration
+		for i := 0; i < b.N; i++ {
+			h := host.New(host.Config{CPUs: 20, Memory: 128 * units.GiB, Seed: 1})
+			h.Monitor.FixedPeriod = fixed
+			w := workloads.DaCapo("xalan")
+			w.TotalWork = units.CPUSeconds(float64(w.TotalWork) * benchScale)
+			ctrs := make([]*container.Container, 5)
+			for k := range ctrs {
+				ctrs[k] = h.Runtime.Create(container.Spec{Name: fmt.Sprintf("c%d", k), Gamma: 0.5})
+				ctrs[k].Exec("java")
+			}
+			jvms := make([]*jvm.JVM, 5)
+			for k, ctr := range ctrs {
+				jvms[k] = jvm.New(h, ctr, w, jvm.Config{Policy: jvm.Adaptive, Xmx: 3 * w.MinHeap})
+				jvms[k].Start()
+			}
+			if !h.RunUntilDone(time.Hour) {
+				b.Fatal("run did not finish")
+			}
+			exec = 0
+			for _, j := range jvms {
+				exec += j.Stats.ExecTime()
+			}
+			exec /= 5
+		}
+		b.ReportMetric(exec.Seconds(), "exec-s")
+	}
+	b.Run("sched-period", func(b *testing.B) { run(b, 0) })
+	for _, p := range []time.Duration{100 * time.Millisecond, time.Second} {
+		b.Run(fmt.Sprintf("fixed=%v", p), func(b *testing.B) { run(b, p) })
+	}
+}
+
+// BenchmarkAblationStaticLowerBound isolates the benefit of the
+// work-conserving dynamic adjustment over JVM10-style static shares by
+// pinning E_CPU at its lower bound.
+func BenchmarkAblationStaticLowerBound(b *testing.B) {
+	b.Run("dynamic", func(b *testing.B) { reportAblation(b, sysns.Options{}) })
+	b.Run("static", func(b *testing.B) { reportAblation(b, sysns.Options{DisableGrowth: true}) })
+}
+
+// BenchmarkAblationMemStep sweeps Algorithm 2's expansion increment
+// (10% of remaining headroom in the paper) on the elastic-heap
+// micro-benchmark.
+func BenchmarkAblationMemStep(b *testing.B) {
+	for _, frac := range []float64{0.05, 0.10, 0.25, 0.50} {
+		b.Run(fmt.Sprintf("step=%.2f", frac), func(b *testing.B) {
+			var exec time.Duration
+			for i := 0; i < b.N; i++ {
+				h := host.New(host.Config{
+					CPUs: 20, Memory: 128 * units.GiB,
+					Tick:      4 * time.Millisecond,
+					NSOptions: sysns.Options{MemStepFrac: frac},
+					Seed:      1,
+				})
+				w := workloads.MicroBench()
+				w.TotalWork = units.CPUSeconds(float64(w.TotalWork) * 0.05)
+				w.LiveSet = units.Bytes(float64(w.LiveSet) * 0.05)
+				// Keep the limit geometry relative to the scaled working
+				// set so effective-memory expansion actually binds.
+				ctr := h.Runtime.Create(container.Spec{
+					Name:    "c0",
+					MemHard: w.LiveSet + w.LiveSet/2,
+					MemSoft: w.LiveSet - w.LiveSet/4,
+					Gamma:   0.5,
+				})
+				ctr.Exec("java")
+				j := jvm.New(h, ctr, w, jvm.Config{Policy: jvm.Adaptive, ElasticHeap: true})
+				j.Start()
+				if !h.RunUntilDone(2 * time.Hour) {
+					b.Fatal("microbench did not finish")
+				}
+				exec = j.Stats.ExecTime()
+			}
+			b.ReportMetric(exec.Seconds(), "exec-s")
+		})
+	}
+}

@@ -1,0 +1,84 @@
+// Command arvbench regenerates the tables and figures of "Adaptive
+// Resource Views for Containers" (HPDC '19) on the simulated substrate.
+//
+// Usage:
+//
+//	arvbench -list
+//	arvbench -run fig6
+//	arvbench -run all -scale 0.25
+//	arvbench -run fig12 -csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"arv/internal/experiments"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list available experiments")
+		run     = flag.String("run", "", "experiment id to run (or 'all')")
+		scale   = flag.Float64("scale", 1.0, "workload scale factor (1.0 = paper-sized)")
+		csv     = flag.Bool("csv", false, "emit tables as CSV instead of aligned text")
+		md      = flag.Bool("md", false, "emit tables as Markdown instead of aligned text")
+		verbose = flag.Bool("v", false, "verbose notes")
+	)
+	flag.Parse()
+
+	if *list || *run == "" {
+		fmt.Println("available experiments:")
+		for _, e := range experiments.All() {
+			fmt.Printf("  %-8s  %s\n", e.ID, e.Title)
+		}
+		if *run == "" && !*list {
+			fmt.Println("\nuse -run <id> (or -run all)")
+		}
+		return
+	}
+
+	opts := experiments.Options{Scale: *scale, Verbose: *verbose}
+	var entries []experiments.Entry
+	if strings.EqualFold(*run, "all") {
+		entries = experiments.All()
+	} else {
+		for _, id := range strings.Split(*run, ",") {
+			e, ok := experiments.Lookup(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "arvbench: unknown experiment %q (try -list)\n", id)
+				os.Exit(2)
+			}
+			entries = append(entries, e)
+		}
+	}
+
+	for _, e := range entries {
+		start := time.Now()
+		res := e.Run(opts)
+		switch {
+		case *csv:
+			fmt.Printf("# %s: %s\n", res.ID, res.Title)
+			for _, t := range res.Tables {
+				fmt.Printf("## %s\n%s", t.Caption, t.CSV())
+			}
+			for _, n := range res.Notes {
+				fmt.Printf("# note: %s\n", n)
+			}
+		case *md:
+			fmt.Printf("## %s: %s\n\n", res.ID, res.Title)
+			for _, t := range res.Tables {
+				fmt.Println(t.Markdown())
+			}
+			for _, n := range res.Notes {
+				fmt.Printf("> %s\n\n", n)
+			}
+		default:
+			fmt.Println(res.String())
+		}
+		fmt.Printf("[%s completed in %v wall time]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

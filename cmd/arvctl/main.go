@@ -1,0 +1,43 @@
+// Command arvctl drives a simulated host through a docker-like scenario
+// script (see internal/scenario for the command language), read from a
+// file or stdin. It is the interactive way to explore the adaptive
+// resource views without writing Go.
+//
+// Usage:
+//
+//	arvctl scenario.arv
+//	arvctl testdata/demo.arv
+//	echo "create a
+//	exec a app
+//	sysbench a 4 10
+//	advance 2s
+//	top" | arvctl -
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"arv/internal/scenario"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: arvctl <scenario-file|->")
+		os.Exit(2)
+	}
+	in := os.Stdin
+	if os.Args[1] != "-" {
+		f, err := os.Open(os.Args[1])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "arvctl:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+	if err := scenario.New(os.Stdout).Run(in); err != nil {
+		fmt.Fprintln(os.Stderr, "arvctl:", err)
+		os.Exit(1)
+	}
+}

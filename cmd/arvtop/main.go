@@ -1,0 +1,78 @@
+// Command arvtop runs a canned multi-tenant scenario on the simulated
+// host and prints a top-like view of every container's effective
+// resources at a fixed interval of virtual time, illustrating how the
+// adaptive resource views track co-location.
+//
+// Usage:
+//
+//	arvtop                         # the Fig. 8-style mixed scenario
+//	arvtop -scenario memory        # the Fig. 2(b)-style memory scenario
+//	arvtop -interval 500ms -for 30s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"arv"
+)
+
+func main() {
+	var (
+		scenario = flag.String("scenario", "cpu", "scenario: cpu (staggered sysbench) or memory (hog + JVM)")
+		interval = flag.Duration("interval", time.Second, "virtual time between snapshots")
+		duration = flag.Duration("for", 20*time.Second, "virtual time to run")
+	)
+	flag.Parse()
+
+	h := arv.NewHost(arv.HostConfig{CPUs: 20, Memory: 128 * arv.GiB, Seed: 1})
+
+	switch *scenario {
+	case "cpu":
+		// One adaptive JVM plus nine sysbench containers finishing at
+		// staggered times.
+		java := h.Runtime.Create(arv.ContainerSpec{Name: "java", Gamma: 0.5})
+		java.Exec("java h2")
+		hogs := make([]*arv.Container, 9)
+		for i := range hogs {
+			hogs[i] = h.Runtime.Create(arv.ContainerSpec{Name: fmt.Sprintf("sb%d", i)})
+			hogs[i].Exec("sysbench")
+		}
+		w := arv.DaCapo("h2")
+		arv.NewJVM(h, java, w, arv.JVMConfig{Policy: arv.JVMAdaptive, Xmx: 3 * w.MinHeap}).Start()
+		for i, c := range hogs {
+			arv.NewSysbench(h, c, 4, arv.CPUSeconds(float64(i+1)*4)).Start()
+		}
+
+	case "memory":
+		// A soft/hard-limited JVM squeezed by a host-wide memory hog.
+		java := h.Runtime.Create(arv.ContainerSpec{
+			Name: "java", MemHard: 1 * arv.GiB, MemSoft: 512 * arv.MiB, Gamma: 0.5,
+		})
+		java.Exec("java xalan")
+		hog := h.Runtime.Create(arv.ContainerSpec{Name: "hog"})
+		hog.Exec("memhog")
+		w := arv.DaCapo("xalan")
+		arv.NewJVM(h, java, w, arv.JVMConfig{
+			Policy: arv.JVMAdaptive, ElasticHeap: true, Xms: 256 * arv.MiB,
+		}).Start()
+		arv.NewMemHog(h, hog, 126*arv.GiB, 32*arv.GiB).Start()
+
+	default:
+		fmt.Fprintf(os.Stderr, "arvtop: unknown scenario %q\n", *scenario)
+		os.Exit(2)
+	}
+
+	snapshot := func(time.Duration) {
+		fmt.Println()
+		if _, err := h.Snapshot().WriteTo(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "arvtop:", err)
+		}
+	}
+
+	snapshot(0)
+	h.Clock.Every(*interval, snapshot)
+	h.Run(*duration)
+}

@@ -1,0 +1,106 @@
+package arv_test
+
+import (
+	"fmt"
+	"time"
+
+	"arv"
+)
+
+// Building a host, a limited container, and reading its adaptive
+// resource view through the virtual sysfs.
+func ExampleNewHost() {
+	h := arv.NewHost(arv.HostConfig{CPUs: 20, Memory: 128 * arv.GiB, Seed: 1})
+	web := h.Runtime.Create(arv.ContainerSpec{
+		Name:       "web",
+		CPUQuotaUS: 1_000_000, CPUPeriodUS: 100_000, // 10-CPU limit
+		MemHard: 4 * arv.GiB, MemSoft: 2 * arv.GiB,
+	})
+	web.Exec("httpd")
+
+	v := web.View()
+	online, _ := v.ReadFile("/sys/devices/system/cpu/online")
+	fmt.Printf("effective CPUs: %d (online file %q)\n", v.OnlineCPUs(), online)
+	fmt.Printf("effective memory: %v\n", v.TotalMemory())
+	// Output:
+	// effective CPUs: 10 (online file "0-9\n")
+	// effective memory: 2.00GiB
+}
+
+// Effective CPU decays toward the fair share when neighbours appear.
+func ExampleSysNamespace_contention() {
+	h := arv.NewHost(arv.HostConfig{CPUs: 20, Memory: 128 * arv.GiB, Seed: 1})
+	a := h.Runtime.Create(arv.ContainerSpec{Name: "a"})
+	a.Exec("app")
+	arv.NewSysbench(h, a, 20, 1e9).Start()
+	for i := 0; i < 4; i++ {
+		c := h.Runtime.Create(arv.ContainerSpec{Name: fmt.Sprintf("peer%d", i)})
+		c.Exec("app")
+		arv.NewSysbench(h, c, 20, 1e9).Start()
+	}
+	h.Run(8 * time.Second)
+	lower, upper := a.NS.CPUBounds()
+	fmt.Printf("E_CPU=%d within [%d,%d]\n", a.NS.EffectiveCPU(), lower, upper)
+	// Output:
+	// E_CPU=4 within [4,20]
+}
+
+// An adaptive JVM sizes its GC parallelism from effective CPU.
+func ExampleNewJVM() {
+	h := arv.NewHost(arv.HostConfig{CPUs: 8, Memory: 16 * arv.GiB, Seed: 1})
+	ctr := h.Runtime.Create(arv.ContainerSpec{Name: "java", Gamma: 0.5})
+	ctr.Exec("java")
+	w := arv.DaCapo("sunflow")
+	w.TotalWork = 4 // shorten for the example
+	j := arv.NewJVM(h, ctr, w, arv.JVMConfig{Policy: arv.JVMAdaptive, Xmx: 3 * w.MinHeap})
+	j.Start()
+	h.RunUntilDone(time.Hour)
+	fmt.Printf("finished=%v collected=%v pool=%d\n",
+		!j.Failed() && j.Done(), j.Stats.MinorGCs > 0, j.GCThreadPool())
+	// Output:
+	// finished=true collected=true pool=8
+}
+
+// The three OpenMP strategies in a quota-limited container.
+func ExampleNewOpenMP() {
+	run := func(s arv.OMPStrategy) time.Duration {
+		h := arv.NewHost(arv.HostConfig{CPUs: 20, Memory: 64 * arv.GiB, Seed: 1})
+		ctr := h.Runtime.Create(arv.ContainerSpec{
+			Name: "npb", CPUQuotaUS: 400_000, CPUPeriodUS: 100_000,
+		})
+		ctr.Exec("npb")
+		p := arv.NewOpenMP(h, ctr, arv.NPB("ep"), s)
+		p.Start()
+		h.RunUntilDone(time.Hour)
+		return p.ExecTime()
+	}
+	static := run(arv.OMPStatic)
+	adaptive := run(arv.OMPAdaptive)
+	fmt.Printf("adaptive faster than static: %v\n", adaptive < static)
+	// Output:
+	// adaptive faster than static: true
+}
+
+// The Fig. 1 audit dataset.
+func ExampleDockerHubCounts() {
+	for _, c := range arv.DockerHubCounts() {
+		if c.Language == "java" || c.Language == "go" {
+			fmt.Printf("%s: %d/%d affected\n", c.Language, c.Affected, c.Total())
+		}
+	}
+	// Output:
+	// java: 28/28 affected
+	// go: 4/14 affected
+}
+
+// Regenerating one of the paper's figures programmatically.
+func ExampleLookupExperiment() {
+	e, ok := arv.LookupExperiment("fig1")
+	if !ok {
+		panic("fig1 not registered")
+	}
+	res := e.Run(arv.ExperimentOptions{Scale: 0.2})
+	fmt.Println(res.ID, len(res.Tables) > 0)
+	// Output:
+	// fig1 true
+}

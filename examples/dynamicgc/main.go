@@ -1,0 +1,64 @@
+// Dynamic GC parallelism (§4.1): five containers share 20 cores, each
+// running the same DaCapo-style benchmark. The vanilla JVM sizes its GC
+// thread pool from the 20 online CPUs and wakes all ~16 threads at every
+// collection; the adaptive JVM reads effective CPU from its
+// sys_namespace and converges to the 4-CPU fair share. Compare the
+// execution and GC times.
+//
+// Run with: go run ./examples/dynamicgc
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"arv"
+)
+
+func run(policy arv.JVMConfig) (exec, gc time.Duration, threads int) {
+	h := arv.NewHost(arv.HostConfig{CPUs: 20, Memory: 128 * arv.GiB, Seed: 1})
+	w := arv.DaCapo("xalan")
+
+	// Create all five containers first (so every sys_namespace knows the
+	// full share denominator), then launch the JVMs.
+	ctrs := make([]*arv.Container, 5)
+	for i := range ctrs {
+		ctrs[i] = h.Runtime.Create(arv.ContainerSpec{
+			Name:  fmt.Sprintf("java%d", i),
+			Gamma: 0.5,
+		})
+		ctrs[i].Exec("java " + w.Name)
+	}
+	jvms := make([]*arv.JVM, 5)
+	for i, ctr := range ctrs {
+		cfg := policy
+		cfg.Xmx = 3 * w.MinHeap // §5.1: heap = 3x the minimum
+		jvms[i] = arv.NewJVM(h, ctr, w, cfg)
+		jvms[i].Start()
+	}
+	if !h.RunUntilDone(time.Hour) {
+		panic("benchmarks did not finish")
+	}
+	for _, j := range jvms {
+		exec += j.Stats.ExecTime()
+		gc += j.Stats.GCTime
+	}
+	last := jvms[0].Stats.GCs[len(jvms[0].Stats.GCs)-1]
+	return exec / 5, gc / 5, last.Threads
+}
+
+func main() {
+	fmt.Println("five xalan containers sharing 20 cores (effective capacity: 4 CPUs each)")
+	fmt.Println()
+
+	vExec, vGC, vThreads := run(arv.JVMConfig{Policy: arv.JVMVanilla8})
+	fmt.Printf("vanilla JDK8 : exec %8v  gc %8v  (GC threads at last collection: %d)\n",
+		vExec.Round(time.Millisecond), vGC.Round(time.Millisecond), vThreads)
+
+	aExec, aGC, aThreads := run(arv.JVMConfig{Policy: arv.JVMAdaptive})
+	fmt.Printf("adaptive     : exec %8v  gc %8v  (GC threads at last collection: %d)\n",
+		aExec.Round(time.Millisecond), aGC.Round(time.Millisecond), aThreads)
+
+	fmt.Printf("\nadaptive/vanilla: exec %.2f, GC %.2f — over-threading eliminated by E_CPU\n",
+		float64(aExec)/float64(vExec), float64(aGC)/float64(vGC))
+}

@@ -1,0 +1,68 @@
+// Elastic heap (§4.2): the §5.3 micro-benchmark — allocate 1 MiB, free
+// 512 KiB per iteration until the working set reaches 20 GiB — inside a
+// container with a 30 GiB hard / 15 GiB soft memory limit.
+//
+// The vanilla (JDK 10-style) JVM reserves the detected hard limit and
+// expands committed space eagerly; the elastic JVM drives VirtualMax
+// from effective memory, starting at the soft limit and expanding only
+// while the host has headroom. This example prints the Fig. 12-style
+// used/committed/VirtualMax trace for both.
+//
+// Run with: go run ./examples/elasticheap
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"arv"
+)
+
+func run(elastic bool) {
+	h := arv.NewHost(arv.HostConfig{CPUs: 20, Memory: 128 * arv.GiB, Tick: 4 * time.Millisecond, Seed: 1})
+	ctr := h.Runtime.Create(arv.ContainerSpec{
+		Name:    "java",
+		MemHard: 30 * arv.GiB,
+		MemSoft: 15 * arv.GiB,
+		Gamma:   0.5,
+	})
+	ctr.Exec("java MicroBench")
+
+	cfg := arv.JVMConfig{}
+	label := "vanilla (JDK10-style, Xmx = detected hard limit)"
+	if elastic {
+		cfg.Policy = arv.JVMAdaptive
+		cfg.ElasticHeap = true
+		label = "elastic (VirtualMax follows effective memory)"
+	} else {
+		cfg.Policy = arv.JVM10
+		cfg.Xmx = 30 * arv.GiB
+	}
+	j := arv.NewJVM(h, ctr, arv.MicroBench(), cfg)
+	j.Start()
+
+	fmt.Printf("== %s ==\n", label)
+	fmt.Printf("%8s  %12s  %12s  %12s\n", "t", "used", "committed", "virtualmax")
+	h.Clock.Every(60*time.Second, func(now time.Duration) {
+		if j.Done() {
+			return
+		}
+		hp := j.Heap()
+		vm := hp.VirtualMax
+		if vm == 0 {
+			vm = hp.Ceiling()
+		}
+		fmt.Printf("%8v  %12v  %12v  %12v\n", now.Round(time.Second), hp.Used(), hp.Committed(), vm)
+	})
+	if !h.RunUntilDone(6 * time.Hour) {
+		fmt.Println("  did not finish!")
+		return
+	}
+	fmt.Printf("finished in %v with %d GCs (state %v)\n\n",
+		j.Stats.ExecTime().Round(time.Second), j.Stats.MinorGCs+j.Stats.MajorGCs, j.State())
+}
+
+func main() {
+	run(false)
+	run(true)
+}

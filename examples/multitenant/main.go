@@ -1,0 +1,64 @@
+// Multi-tenant trace: one adaptive JVM co-located with nine sysbench
+// containers that finish at staggered times (the Fig. 8 scenario). The
+// example prints an arvtop-style table every simulated second, showing
+// how each container's effective CPU tracks the changing availability,
+// and the JVM's GC thread count following it.
+//
+// Run with: go run ./examples/multitenant
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"arv"
+)
+
+func main() {
+	h := arv.NewHost(arv.HostConfig{CPUs: 20, Memory: 128 * arv.GiB, Seed: 1})
+
+	// Create all ten containers up front.
+	java := h.Runtime.Create(arv.ContainerSpec{Name: "java", Gamma: 0.5})
+	java.Exec("java sunflow")
+	hogs := make([]*arv.Container, 9)
+	for i := range hogs {
+		hogs[i] = h.Runtime.Create(arv.ContainerSpec{Name: fmt.Sprintf("sb%d", i)})
+		hogs[i].Exec("sysbench")
+	}
+
+	w := arv.DaCapo("sunflow")
+	j := arv.NewJVM(h, java, w, arv.JVMConfig{Policy: arv.JVMAdaptive, Xmx: 3 * w.MinHeap})
+	j.Start()
+	for i, ctr := range hogs {
+		work := arv.CPUSeconds(float64(i+1) * 3)
+		arv.NewSysbench(h, ctr, 4, work).Start()
+	}
+
+	fmt.Println("t      loadavg  slack  java E_CPU  gc-threads  alive-hogs  progress")
+	h.Clock.Every(time.Second, func(now time.Duration) {
+		if j.Done() {
+			return
+		}
+		alive := 0
+		for _, ctr := range hogs {
+			if ctr.Cgroup.CPU.RunnableTasks() > 0 {
+				alive++
+			}
+		}
+		lastThreads := 0
+		if n := len(j.Stats.GCs); n > 0 {
+			lastThreads = j.Stats.GCs[n-1].Threads
+		}
+		fmt.Printf("%-6v %7.1f  %5.1f  %10d  %10d  %10d  %7.0f%%\n",
+			now, h.Sched.LoadAvg(), h.Sched.SlackLast(),
+			java.NS.EffectiveCPU(), lastThreads, alive, 100*j.Progress())
+	})
+
+	if !h.RunUntilDone(time.Hour) {
+		panic("did not finish")
+	}
+	fmt.Printf("\njava finished: exec %v, gc %v across %d collections\n",
+		j.Stats.ExecTime().Round(time.Millisecond),
+		j.Stats.GCTime.Round(time.Millisecond),
+		j.Stats.MinorGCs+j.Stats.MajorGCs)
+}

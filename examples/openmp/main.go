@@ -1,0 +1,53 @@
+// OpenMP dynamic parallelism (§4.1): one NPB kernel in a container
+// holding a quota equivalent to 4 cores on a 20-core host, under the
+// three thread-sizing strategies of Fig. 10:
+//
+//   - static:  20 threads (one per online host CPU) time-slice the
+//     4-CPU quota and pay synchronization penalties;
+//   - dynamic: n_onln - loadavg also launches far too many threads,
+//     because throttled tasks vanish from the load average;
+//   - adaptive: E_CPU sizes the team to the 4 CPUs the container can
+//     actually use.
+//
+// Run with: go run ./examples/openmp
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"arv"
+)
+
+func main() {
+	kernel := arv.NPB("cg")
+	fmt.Printf("NPB %s in a 4-core-quota container on a 20-core host\n\n", kernel.Name)
+
+	var base time.Duration
+	for _, strategy := range []arv.OMPStrategy{arv.OMPStatic, arv.OMPDynamic, arv.OMPAdaptive} {
+		h := arv.NewHost(arv.HostConfig{CPUs: 20, Memory: 128 * arv.GiB, Seed: 1})
+		ctr := h.Runtime.Create(arv.ContainerSpec{
+			Name:       "npb",
+			CPUQuotaUS: 400_000, CPUPeriodUS: 100_000,
+		})
+		ctr.Exec(kernel.Name)
+		p := arv.NewOpenMP(h, ctr, kernel, strategy)
+		p.Start()
+		if !h.RunUntilDone(time.Hour) {
+			panic("kernel did not finish")
+		}
+		if base == 0 {
+			base = p.ExecTime()
+		}
+		fmt.Printf("%-8v exec %8v (%.2fx static)   threads per region: %v...\n",
+			strategy, p.ExecTime().Round(time.Millisecond),
+			float64(p.ExecTime())/float64(base), p.ThreadTrace[:min(4, len(p.ThreadTrace))])
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,56 @@
+// Pods (extension): nested cgroups in the Kubernetes shape. A pod-level
+// cgroup holds two containers; the pod's quota and share govern them
+// collectively, the members compete within the pod by their own shares,
+// and each member's sys_namespace accounts for both levels.
+//
+// Run with: go run ./examples/pods
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"arv"
+)
+
+func main() {
+	h := arv.NewHost(arv.HostConfig{CPUs: 16, Memory: 64 * arv.GiB, Seed: 1})
+
+	// A pod capped at 6 CPUs and 4 GiB, holding an app container (3x
+	// the sidecar's share) and a sidecar.
+	pod := h.Runtime.CreatePod(arv.PodSpec{
+		Name:       "pod",
+		CPUQuotaUS: 600_000, CPUPeriodUS: 100_000,
+		MemHard: 4 * arv.GiB,
+	})
+	app := h.Runtime.CreateInPod(pod, arv.ContainerSpec{Name: "app", CPUShares: 3 * 1024})
+	app.Exec("server")
+	sidecar := h.Runtime.CreateInPod(pod, arv.ContainerSpec{Name: "sidecar"})
+	sidecar.Exec("envoy")
+
+	// A noisy neighbour outside the pod.
+	other := h.Runtime.Create(arv.ContainerSpec{Name: "batch"})
+	other.Exec("worker")
+
+	report := func(label string) {
+		fmt.Printf("\n== %s ==\n", label)
+		for _, c := range []*arv.Container{app, sidecar, other} {
+			lower, upper := c.NS.CPUBounds()
+			fmt.Printf("  %-8s E_CPU=%-2d bounds=[%d,%d] rate=%.2f\n",
+				c.Name, c.NS.EffectiveCPU(), lower, upper, c.Cgroup.CPU.LastRate())
+		}
+	}
+
+	report("idle")
+
+	// Saturate everything: the pod's 6-CPU quota splits 4.5 / 1.5 by
+	// shares; the batch container takes the rest of the host.
+	arv.NewSysbench(h, app, 8, 1e9).Start()
+	arv.NewSysbench(h, sidecar, 8, 1e9).Start()
+	arv.NewSysbench(h, other, 16, 1e9).Start()
+	h.Run(5 * time.Second)
+	report("saturated (pod quota 6: app:sidecar = 3:1; batch takes the remainder)")
+
+	fmt.Printf("\npod subtree resident memory: %v (hard limit %v)\n",
+		pod.Cgroup.Mem.SubtreeResident(), pod.Cgroup.Mem.HardLimit)
+}

@@ -1,0 +1,70 @@
+// Quickstart: build a simulated host, run containers with different
+// cgroup settings, and watch their adaptive resource views (effective
+// CPU and memory) respond to load and co-location.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"arv"
+)
+
+func main() {
+	// The paper's testbed: 20 cores, 128 GiB.
+	h := arv.NewHost(arv.HostConfig{CPUs: 20, Memory: 128 * arv.GiB, Seed: 1})
+
+	// A container with a 10-core bandwidth limit and a 4 GiB hard /
+	// 2 GiB soft memory limit.
+	web := h.Runtime.Create(arv.ContainerSpec{
+		Name:       "web",
+		CPUQuotaUS: 1_000_000, CPUPeriodUS: 100_000,
+		MemHard: 4 * arv.GiB, MemSoft: 2 * arv.GiB,
+	})
+	web.Exec("httpd")
+
+	// What the container sees through its virtual sysfs: effective
+	// resources, not the host totals.
+	fmt.Println("== fresh container ==")
+	report(web)
+
+	// Saturate the container with CPU work: on an otherwise idle host,
+	// Algorithm 1 grows effective CPU toward the 10-core limit.
+	arv.NewSysbench(h, web, 16, 1e9).Start()
+	h.Run(3 * time.Second)
+	fmt.Println("\n== busy, host otherwise idle: E_CPU grows to the limit ==")
+	report(web)
+
+	// Start four equal-share contenders: with no slack left, effective
+	// CPU decays toward the fair share, ceil(20/5) = 4.
+	for i := 0; i < 4; i++ {
+		c := h.Runtime.Create(arv.ContainerSpec{Name: fmt.Sprintf("batch%d", i)})
+		c.Exec("worker")
+		arv.NewSysbench(h, c, 8, 1e9).Start()
+	}
+	h.Run(8 * time.Second)
+	fmt.Println("\n== four busy neighbours: E_CPU decays toward the fair share ==")
+	report(web)
+
+	// Memory: fill the container past 90% of its effective memory and
+	// Algorithm 2 expands E_MEM toward the hard limit, 10% of the
+	// remaining headroom at a time.
+	h.Mem.Charge(web.Cgroup.Mem, 1900*arv.MiB, h.Now())
+	h.Run(2 * time.Second)
+	fmt.Println("\n== memory demand near the soft limit: E_MEM expands ==")
+	report(web)
+}
+
+func report(c *arv.Container) {
+	v := c.View()
+	lower, upper := c.NS.CPUBounds()
+	online, _ := v.ReadFile("/sys/devices/system/cpu/online")
+	fmt.Printf("  effective CPU: %d (bounds [%d,%d]); online file: %q\n",
+		v.OnlineCPUs(), lower, upper, online)
+	pages, _ := v.Sysconf(arv.ScPhysPages)
+	psize, _ := v.Sysconf(arv.ScPageSize)
+	fmt.Printf("  effective memory: %v (_SC_PHYS_PAGES*_SC_PAGESIZE = %v)\n",
+		v.TotalMemory(), arv.Bytes(pages*psize))
+}

@@ -1,0 +1,68 @@
+// Web-server worker pools (extension): the paper's Fig. 1 audit flags
+// servers like httpd and nginx, which size worker pools from the CPU
+// count the kernel reports. This example runs an open-loop request
+// stream against one server container while batch containers come and
+// go, comparing the three sizing policies on served requests, drops,
+// and tail latency.
+//
+// Run with: go run ./examples/webserver
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"arv"
+)
+
+func run(sizing arv.WebServerConfig) *arv.WebServer {
+	h := arv.NewHost(arv.HostConfig{CPUs: 20, Memory: 128 * arv.GiB, Seed: 1})
+
+	web := h.Runtime.Create(arv.ContainerSpec{
+		Name:       "web",
+		CPUQuotaUS: 1_000_000, CPUPeriodUS: 100_000, // 10-core limit
+		Gamma: 0.6,
+	})
+	web.Exec("httpd")
+	batch := make([]*arv.Container, 4)
+	for i := range batch {
+		batch[i] = h.Runtime.Create(arv.ContainerSpec{Name: fmt.Sprintf("batch%d", i)})
+		batch[i].Exec("worker")
+	}
+
+	cfg := sizing
+	cfg.RequestRate = 500  // demand: 5 CPUs
+	cfg.ServiceCost = 0.01 // 10 ms of CPU per request
+	cfg.QueueLimit = 256
+	cfg.Duration = 24 * time.Second
+	srv := arv.NewWebServer(h, web, cfg)
+	srv.Start()
+
+	// Batch jobs occupy the host for the middle half of the run.
+	h.Clock.After(6*time.Second, func(time.Duration) {
+		for _, c := range batch {
+			arv.NewSysbench(h, c, 4, 48).Start() // ~12s at 4 CPUs
+		}
+	})
+
+	h.RunUntil(srv.Done, time.Hour)
+	return srv
+}
+
+func main() {
+	fmt.Println("500 req/s x 10ms against a 10-core-quota container; batch load during the middle phase")
+	fmt.Printf("%-9s %8s %8s %10s %10s %10s\n", "sizing", "served", "dropped", "mean", "p50", "p99")
+	for _, cfg := range []arv.WebServerConfig{
+		{Sizing: arv.SizeHost},
+		{Sizing: arv.SizeStatic},
+		{Sizing: arv.SizeAdaptive},
+	} {
+		srv := run(cfg)
+		st := &srv.Stats
+		fmt.Printf("%-9v %8d %8d %10v %10v %10v\n",
+			cfg.Sizing, st.Served, st.Dropped,
+			st.MeanLatency().Round(time.Millisecond),
+			st.PercentileLatency(50).Round(time.Millisecond),
+			st.PercentileLatency(99).Round(time.Millisecond))
+	}
+}

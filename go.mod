@@ -1,0 +1,3 @@
+module arv
+
+go 1.22

@@ -1,0 +1,552 @@
+// Package cfs simulates the Linux Completely Fair Scheduler at the level
+// of detail the paper's Algorithm 1 depends on: per-cgroup share weights
+// (cpu.shares), bandwidth limits (cfs_quota_us / cfs_period_us), CPU
+// affinity masks (cpuset.cpus), work-conserving multiplexing of the
+// remaining capacity, per-group usage accounting, and the host load
+// average.
+//
+// The model is "fluid": once per simulation tick, the host's NCPU cores
+// are divided among runnable tasks by weighted max-min fairness subject
+// to (1) at most one CPU per task, (2) at most |cpuset| CPUs per group,
+// (3) at most quota/period CPUs per group, with group weights given by
+// cpu.shares. Capacity no group can use is given to others (work
+// conservation); capacity nobody can use is the slack Algorithm 1 reads.
+//
+// Groups may be nested one level (a parent group containing child
+// groups — the Kubernetes pod shape): capacity is water-filled among
+// top-level entities first, then each parent's grant is water-filled
+// among its children by their shares, with the parent's cpuset/quota
+// capping the subtree. Following cgroup v2's "no internal processes"
+// rule, a group with children cannot hold tasks.
+//
+// Oversubscription is not free: when a group runs more runnable tasks
+// than the CPU it is allocated, each task's useful work is discounted by
+// 1/(1+gamma*(r-1)) where r is the oversubscription ratio and gamma a
+// per-group sensitivity. This reproduces the over-threading penalties the
+// paper measures (Figs. 2a, 6, 7, 10) that a pure fluid model would hide.
+package cfs
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"arv/internal/sim"
+	"arv/internal/units"
+)
+
+// DefaultShares is the cpu.shares value Linux assigns a new cgroup.
+const DefaultShares = 1024
+
+// Task is a schedulable entity (a thread). Tasks belong to exactly one
+// Group and are either runnable or blocked.
+type Task struct {
+	ID   int
+	Name string
+
+	// Gamma overrides the group's oversubscription sensitivity for
+	// this task when positive (e.g. GC worker threads, whose work
+	// stealing and termination protocols degrade under time-slicing
+	// much faster than independent mutator threads).
+	Gamma float64
+
+	// OnTick, if non-nil, is invoked after every scheduling tick in
+	// which the task was runnable, with the useful work accomplished
+	// (CPU time discounted by the oversubscription penalty) and the
+	// raw CPU time consumed. State changes made by the callback
+	// (blocking tasks, waking tasks) take effect from the next tick.
+	OnTick func(now sim.Time, useful, raw units.CPUSeconds)
+
+	group    *Group
+	runnable bool
+	removed  bool
+
+	// LastRate is the CPU rate (in CPUs) the task received in the most
+	// recent tick in which it was runnable.
+	LastRate float64
+	// Usage is the total raw CPU time consumed.
+	Usage units.CPUSeconds
+}
+
+// Runnable reports whether the task is currently runnable.
+func (t *Task) Runnable() bool { return t.runnable }
+
+// Group returns the scheduling group the task belongs to.
+func (t *Task) Group() *Group { return t.group }
+
+// Group is a scheduling control group (the cpu controller of a cgroup).
+type Group struct {
+	Name string
+
+	// Shares is the cpu.shares weight (default 1024).
+	Shares int64
+	// QuotaUS and PeriodUS define the bandwidth limit
+	// (cfs_quota_us / cfs_period_us). QuotaUS < 0 means unlimited.
+	QuotaUS  int64
+	PeriodUS int64
+	// CpusetN is the number of CPUs in the group's affinity mask;
+	// 0 means "all host CPUs".
+	CpusetN int
+	// Gamma is the oversubscription sensitivity used in the useful-work
+	// discount; see the package comment. Zero means oversubscription is
+	// free (pure fluid model).
+	Gamma float64
+
+	tasks []*Task
+
+	parent   *Group
+	children []*Group
+	schedIdx int // position in Scheduler.groups, maintained on add/remove
+
+	// accounting
+	usage        units.CPUSeconds // total raw CPU time
+	windowUsage  units.CPUSeconds // since last TakeWindowUsage
+	throttledDur time.Duration    // wall time with the quota cap binding
+	lastRate     float64          // group rate in the most recent tick
+
+	removed bool
+}
+
+// Parent returns the enclosing group, or nil for a top-level group.
+func (g *Group) Parent() *Group { return g.parent }
+
+// Children returns the nested groups.
+func (g *Group) Children() []*Group { return g.children }
+
+// CPULimit returns the bandwidth limit in CPUs (quota/period), or
+// math.Inf(1) if the group is unlimited.
+func (g *Group) CPULimit() float64 {
+	if g.QuotaUS < 0 || g.PeriodUS <= 0 {
+		return math.Inf(1)
+	}
+	return float64(g.QuotaUS) / float64(g.PeriodUS)
+}
+
+// Usage returns the group's total raw CPU consumption.
+func (g *Group) Usage() units.CPUSeconds { return g.usage }
+
+// TakeWindowUsage returns the raw CPU time consumed since the previous
+// call and resets the window. sys_namespace reads this once per update
+// period (the u_i term of Algorithm 1).
+func (g *Group) TakeWindowUsage() units.CPUSeconds {
+	u := g.windowUsage
+	g.windowUsage = 0
+	return u
+}
+
+// PeekWindowUsage returns the raw CPU time consumed since the last
+// TakeWindowUsage without resetting the window.
+func (g *Group) PeekWindowUsage() units.CPUSeconds { return g.windowUsage }
+
+// ThrottledTime returns the cumulative wall time during which the group's
+// bandwidth limit capped its allocation.
+func (g *Group) ThrottledTime() time.Duration { return g.throttledDur }
+
+// LastRate returns the CPU rate (in CPUs) the group received in the most
+// recent tick.
+func (g *Group) LastRate() float64 { return g.lastRate }
+
+// RunnableTasks returns the number of currently runnable tasks.
+func (g *Group) RunnableTasks() int {
+	n := 0
+	for _, t := range g.tasks {
+		if t.runnable {
+			n++
+		}
+	}
+	return n
+}
+
+// Tasks returns the number of tasks (runnable or not) in the group.
+func (g *Group) Tasks() int { return len(g.tasks) }
+
+// Scheduler is the host CPU scheduler.
+type Scheduler struct {
+	ncpu   int
+	groups []*Group
+	nextID int
+
+	// LoadAvgTau is the time constant of the exponentially weighted
+	// load average the "dynamic" OpenMP strategy reads. Linux's
+	// getloadavg horizon is one minute; simulated workloads compress
+	// timescales by roughly that factor, so the default is one second —
+	// long parallel regions still dominate a horizon, which is the
+	// regime in which gomp's n_onln - loadavg feedback loop oscillates.
+	LoadAvgTau time.Duration
+	loadAvg    float64
+
+	slackWindow   units.CPUSeconds // unused capacity since last TakeWindowSlack
+	slackLast     float64          // unused CPUs in the most recent tick
+	totalRunnable int              // runnable tasks in the most recent tick
+	ticks         uint64
+
+	// scratch buffers reused across ticks to avoid per-tick allocation
+	scratchAlloc []float64
+	scratchCap   []float64
+	scratchAct   []int
+}
+
+// NewScheduler returns a scheduler for a host with ncpu cores.
+func NewScheduler(ncpu int) *Scheduler {
+	if ncpu <= 0 {
+		panic(fmt.Sprintf("cfs: non-positive CPU count %d", ncpu))
+	}
+	return &Scheduler{ncpu: ncpu, LoadAvgTau: time.Second}
+}
+
+// NCPU returns the number of host cores.
+func (s *Scheduler) NCPU() int { return s.ncpu }
+
+// LoadAvg returns the exponentially weighted average number of runnable
+// tasks (the loadavg term of the "dynamic" OpenMP strategy).
+func (s *Scheduler) LoadAvg() float64 { return s.loadAvg }
+
+// SlackLast returns the unused CPU capacity (in CPUs) in the most recent
+// tick — the instantaneous pslack of Algorithm 1.
+func (s *Scheduler) SlackLast() float64 { return s.slackLast }
+
+// TakeWindowSlack returns the unused CPU capacity accumulated since the
+// previous call and resets the window.
+func (s *Scheduler) TakeWindowSlack() units.CPUSeconds {
+	v := s.slackWindow
+	s.slackWindow = 0
+	return v
+}
+
+// TotalRunnable returns the number of runnable tasks in the most recent
+// tick.
+func (s *Scheduler) TotalRunnable() int { return s.totalRunnable }
+
+// Groups returns the live scheduling groups.
+func (s *Scheduler) Groups() []*Group { return s.groups }
+
+// NewGroup creates and registers a top-level scheduling group. Shares
+// defaults to DefaultShares; quota defaults to unlimited.
+func (s *Scheduler) NewGroup(name string) *Group {
+	g := &Group{
+		Name:     name,
+		Shares:   DefaultShares,
+		QuotaUS:  -1,
+		PeriodUS: 100_000,
+	}
+	g.schedIdx = len(s.groups)
+	s.groups = append(s.groups, g)
+	return g
+}
+
+// NewChildGroup creates a group nested under parent. The parent must not
+// hold tasks (cgroup v2's no-internal-processes rule) and nesting is
+// limited to one level.
+func (s *Scheduler) NewChildGroup(parent *Group, name string) *Group {
+	if parent.removed {
+		panic("cfs: NewChildGroup on removed group " + parent.Name)
+	}
+	if parent.parent != nil {
+		panic("cfs: nesting deeper than one level is not supported")
+	}
+	if len(parent.tasks) > 0 {
+		panic("cfs: parent group " + parent.Name + " holds tasks (no-internal-processes rule)")
+	}
+	g := &Group{
+		Name:     name,
+		Shares:   DefaultShares,
+		QuotaUS:  -1,
+		PeriodUS: 100_000,
+		parent:   parent,
+	}
+	g.schedIdx = len(s.groups)
+	parent.children = append(parent.children, g)
+	s.groups = append(s.groups, g)
+	return g
+}
+
+// RemoveGroup unregisters a group, its tasks, and (for a parent) its
+// children.
+func (s *Scheduler) RemoveGroup(g *Group) {
+	for _, c := range append([]*Group(nil), g.children...) {
+		s.RemoveGroup(c)
+	}
+	g.removed = true
+	for _, t := range g.tasks {
+		t.removed = true
+		t.runnable = false
+	}
+	g.tasks = nil
+	if g.parent != nil {
+		for i, x := range g.parent.children {
+			if x == g {
+				g.parent.children = append(g.parent.children[:i], g.parent.children[i+1:]...)
+				break
+			}
+		}
+	}
+	for i, x := range s.groups {
+		if x == g {
+			s.groups = append(s.groups[:i], s.groups[i+1:]...)
+			for j := i; j < len(s.groups); j++ {
+				s.groups[j].schedIdx = j
+			}
+			break
+		}
+	}
+}
+
+// NewTask creates a task in group g. Tasks start blocked; call SetRunnable.
+func (s *Scheduler) NewTask(g *Group, name string) *Task {
+	if g.removed {
+		panic("cfs: NewTask on removed group " + g.Name)
+	}
+	if len(g.children) > 0 {
+		panic("cfs: NewTask on parent group " + g.Name + " (no-internal-processes rule)")
+	}
+	s.nextID++
+	t := &Task{ID: s.nextID, Name: name, group: g}
+	g.tasks = append(g.tasks, t)
+	return t
+}
+
+// RemoveTask removes a task from its group.
+func (s *Scheduler) RemoveTask(t *Task) {
+	t.removed = true
+	t.runnable = false
+	g := t.group
+	for i, x := range g.tasks {
+		if x == t {
+			g.tasks = append(g.tasks[:i], g.tasks[i+1:]...)
+			break
+		}
+	}
+}
+
+// SetRunnable marks the task runnable (true) or blocked (false).
+func (s *Scheduler) SetRunnable(t *Task, runnable bool) {
+	if t.removed && runnable {
+		panic("cfs: waking removed task " + t.Name)
+	}
+	t.runnable = runnable
+}
+
+// SchedPeriod returns the CFS scheduling period for the current number of
+// runnable tasks: 24 ms when there are at most 8, otherwise
+// 3 ms x ntasks. The paper sets the sys_namespace update interval to this
+// value (§3.2).
+func (s *Scheduler) SchedPeriod() time.Duration {
+	n := s.totalRunnable
+	if n <= 8 {
+		return 24 * time.Millisecond
+	}
+	return time.Duration(n) * 3 * time.Millisecond
+}
+
+// waterfill distributes capacity among the given groups by weighted
+// max-min fairness: proportional to shares, capped per group, iterating
+// until saturated groups' leftovers are redistributed (work
+// conservation). Results are written into alloc, indexed like groups.
+func waterfill(groups []*Group, caps, alloc []float64, active []int, capacity float64) {
+	remaining := capacity
+	for len(active) > 0 && remaining > 1e-12 {
+		var totalW float64
+		for _, i := range active {
+			totalW += float64(groups[i].Shares)
+		}
+		if totalW <= 0 {
+			break
+		}
+		saturated := false
+		next := active[:0]
+		// First pass: saturate groups whose fair share exceeds their cap.
+		for _, i := range active {
+			fair := remaining * float64(groups[i].Shares) / totalW
+			if alloc[i]+fair >= caps[i]-1e-12 {
+				remaining -= caps[i] - alloc[i]
+				alloc[i] = caps[i]
+				saturated = true
+			} else {
+				next = append(next, i)
+			}
+		}
+		if !saturated {
+			// Nobody saturates: distribute the remainder proportionally.
+			for _, i := range next {
+				alloc[i] += remaining * float64(groups[i].Shares) / totalW
+			}
+			remaining = 0
+		}
+		active = next
+	}
+}
+
+// Tick advances the scheduler by dt: allocates CPU, advances task work,
+// and updates accounting and the load average. It is called once per
+// simulation tick by the host.
+func (s *Scheduler) Tick(now sim.Time, dt time.Duration) {
+	s.ticks++
+	dtSec := dt.Seconds()
+
+	n := len(s.groups)
+	if cap(s.scratchAlloc) < n {
+		s.scratchAlloc = make([]float64, n)
+		s.scratchCap = make([]float64, n)
+		s.scratchAct = make([]int, 0, n)
+	}
+	alloc := s.scratchAlloc[:n]
+	caps := s.scratchCap[:n]
+	active := s.scratchAct[:0]
+
+	totalRunnable := 0
+	for i, g := range s.groups {
+		alloc[i] = 0
+		nr := g.RunnableTasks()
+		totalRunnable += nr
+		if nr == 0 {
+			caps[i] = 0
+			continue
+		}
+		c := float64(nr)
+		if g.CpusetN > 0 && float64(g.CpusetN) < c {
+			c = float64(g.CpusetN)
+		}
+		if lim := g.CPULimit(); lim < c {
+			c = lim
+		}
+		caps[i] = c
+	}
+	s.totalRunnable = totalRunnable
+
+	// Parent caps: the subtree demand, bounded by the parent's own
+	// cpuset and bandwidth limit.
+	for i, g := range s.groups {
+		if len(g.children) == 0 {
+			continue
+		}
+		var sum float64
+		for _, c := range g.children {
+			sum += caps[c.schedIdx]
+		}
+		if g.CpusetN > 0 && float64(g.CpusetN) < sum {
+			sum = float64(g.CpusetN)
+		}
+		if lim := g.CPULimit(); lim < sum {
+			sum = lim
+		}
+		caps[i] = sum
+	}
+
+	// Top-level water fill over parents and parentless groups.
+	for i, g := range s.groups {
+		if g.parent == nil && caps[i] > 0 {
+			active = append(active, i)
+		}
+	}
+	waterfill(s.groups, caps, alloc, active, float64(s.ncpu))
+
+	// Second level: each parent's grant is filled among its children.
+	for i, g := range s.groups {
+		if len(g.children) == 0 || alloc[i] <= 0 {
+			continue
+		}
+		childActive := make([]int, 0, len(g.children))
+		for _, c := range g.children {
+			if caps[c.schedIdx] > 0 {
+				childActive = append(childActive, c.schedIdx)
+			}
+		}
+		waterfill(s.groups, caps, alloc, childActive, alloc[i])
+	}
+
+	var used float64
+	loadContribution := 0.0
+	for i, g := range s.groups {
+		rate := alloc[i]
+		g.lastRate = rate
+		if len(g.children) > 0 {
+			// Parent accounting only; its children execute the tasks.
+			if rate > 0 {
+				raw := units.CPUSeconds(rate * dtSec)
+				g.usage += raw
+				g.windowUsage += raw
+				if lim := g.CPULimit(); !math.IsInf(lim, 1) && rate >= lim-1e-9 {
+					g.throttledDur += dt
+				}
+			}
+			continue
+		}
+		if rate <= 0 {
+			continue
+		}
+		used += rate
+		raw := units.CPUSeconds(rate * dtSec)
+		g.usage += raw
+		g.windowUsage += raw
+		nr := g.RunnableTasks()
+		throttled := false
+		if lim := g.CPULimit(); !math.IsInf(lim, 1) && rate >= lim-1e-9 {
+			g.throttledDur += dt
+			throttled = true
+		}
+		if !throttled && g.parent != nil {
+			if plim := g.parent.CPULimit(); !math.IsInf(plim, 1) && alloc[g.parent.schedIdx] >= plim-1e-9 {
+				throttled = true
+			}
+		}
+		// Linux dequeues a bandwidth-throttled group for the rest of
+		// its period, so its excess tasks do not appear in the load
+		// average: a 20-thread container pinned to a 4-CPU quota
+		// contributes ~4 to loadavg, not 20.
+		if throttled && float64(nr) > rate {
+			loadContribution += rate
+		} else {
+			loadContribution += float64(nr)
+		}
+		if nr == 0 {
+			continue
+		}
+		perTask := rate / float64(nr)
+		over := float64(nr)/rate - 1 // oversubscription excess
+		if over < 0 {
+			over = 0
+		}
+		// Snapshot: OnTick may mutate runnable state for future ticks.
+		tasks := g.tasks
+		for _, t := range tasks {
+			if !t.runnable {
+				continue
+			}
+			t.LastRate = perTask
+			rawT := units.CPUSeconds(perTask * dtSec)
+			t.Usage += rawT
+			if t.OnTick != nil {
+				eff := 1.0
+				if over > 0 {
+					gamma := g.Gamma
+					if t.Gamma > 0 {
+						gamma = t.Gamma
+					}
+					if gamma > 0 {
+						eff = 1 / (1 + gamma*over)
+					}
+				}
+				t.OnTick(now, units.CPUSeconds(float64(rawT)*eff), rawT)
+			}
+		}
+	}
+
+	slack := float64(s.ncpu) - used
+	// Clamp floating-point residue from the water-fill: a 1e-15-CPU
+	// remainder is not slack, and Algorithm 1 branches on slack == 0.
+	if slack < 1e-6 {
+		slack = 0
+	}
+	s.slackLast = slack
+	s.slackWindow += units.CPUSeconds(slack * dtSec)
+
+	// Load average: first-order low-pass filter over the enqueued task
+	// count (throttled groups contribute only their bandwidth).
+	if s.LoadAvgTau > 0 {
+		a := dtSec / s.LoadAvgTau.Seconds()
+		if a > 1 {
+			a = 1
+		}
+		s.loadAvg += (loadContribution - s.loadAvg) * a
+	}
+}

@@ -1,0 +1,295 @@
+package cfs
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"arv/internal/units"
+)
+
+const tick = time.Millisecond
+
+func run(s *Scheduler, d time.Duration) {
+	var now time.Duration
+	for now < d {
+		now += tick
+		s.Tick(now, tick)
+	}
+}
+
+func newBusyGroup(s *Scheduler, name string, tasks int) *Group {
+	g := s.NewGroup(name)
+	for i := 0; i < tasks; i++ {
+		t := s.NewTask(g, name)
+		s.SetRunnable(t, true)
+	}
+	return g
+}
+
+func TestSingleTaskGetsOneCPU(t *testing.T) {
+	s := NewScheduler(4)
+	g := newBusyGroup(s, "a", 1)
+	run(s, time.Second)
+	if got := float64(g.Usage()); math.Abs(got-1.0) > 1e-6 {
+		t.Fatalf("single task usage = %v CPU-s over 1s, want 1", got)
+	}
+	if slack := s.SlackLast(); math.Abs(slack-3.0) > 1e-6 {
+		t.Fatalf("slack = %v, want 3", slack)
+	}
+}
+
+func TestEqualSharesSplitEqually(t *testing.T) {
+	s := NewScheduler(4)
+	a := newBusyGroup(s, "a", 8)
+	b := newBusyGroup(s, "b", 8)
+	run(s, time.Second)
+	if math.Abs(float64(a.Usage())-2.0) > 1e-6 || math.Abs(float64(b.Usage())-2.0) > 1e-6 {
+		t.Fatalf("usage a=%v b=%v, want 2 each", a.Usage(), b.Usage())
+	}
+}
+
+func TestSharesWeighting(t *testing.T) {
+	s := NewScheduler(6)
+	a := newBusyGroup(s, "a", 6)
+	b := newBusyGroup(s, "b", 6)
+	a.Shares = 2048 // 2:1
+	run(s, time.Second)
+	if math.Abs(float64(a.Usage())-4.0) > 1e-6 || math.Abs(float64(b.Usage())-2.0) > 1e-6 {
+		t.Fatalf("usage a=%v b=%v, want 4 and 2", a.Usage(), b.Usage())
+	}
+}
+
+func TestQuotaThrottles(t *testing.T) {
+	s := NewScheduler(8)
+	g := newBusyGroup(s, "a", 8)
+	g.QuotaUS, g.PeriodUS = 200_000, 100_000 // 2 CPUs
+	run(s, time.Second)
+	if math.Abs(float64(g.Usage())-2.0) > 1e-6 {
+		t.Fatalf("quota-capped usage = %v, want 2", g.Usage())
+	}
+	if g.ThrottledTime() == 0 {
+		t.Fatal("expected throttled time to accumulate")
+	}
+}
+
+func TestCpusetCaps(t *testing.T) {
+	s := NewScheduler(8)
+	g := newBusyGroup(s, "a", 8)
+	g.CpusetN = 3
+	run(s, time.Second)
+	if math.Abs(float64(g.Usage())-3.0) > 1e-6 {
+		t.Fatalf("cpuset-capped usage = %v, want 3", g.Usage())
+	}
+}
+
+func TestWorkConservation(t *testing.T) {
+	// One capped group; the other may exceed its fair share.
+	s := NewScheduler(4)
+	a := newBusyGroup(s, "a", 4)
+	b := newBusyGroup(s, "b", 4)
+	a.QuotaUS, a.PeriodUS = 100_000, 100_000 // 1 CPU
+	run(s, time.Second)
+	if math.Abs(float64(a.Usage())-1.0) > 1e-6 {
+		t.Fatalf("capped group usage = %v, want 1", a.Usage())
+	}
+	if math.Abs(float64(b.Usage())-3.0) > 1e-6 {
+		t.Fatalf("uncapped group should absorb slack: usage = %v, want 3", b.Usage())
+	}
+}
+
+func TestTaskCapOneCPU(t *testing.T) {
+	s := NewScheduler(8)
+	g := newBusyGroup(s, "a", 2)
+	run(s, time.Second)
+	if math.Abs(float64(g.Usage())-2.0) > 1e-6 {
+		t.Fatalf("2 tasks on 8 CPUs: usage = %v, want 2 (1 CPU per task)", g.Usage())
+	}
+}
+
+func TestBlockedTasksGetNothing(t *testing.T) {
+	s := NewScheduler(4)
+	g := s.NewGroup("a")
+	task := s.NewTask(g, "t")
+	run(s, 100*time.Millisecond)
+	if g.Usage() != 0 {
+		t.Fatalf("blocked task consumed %v", g.Usage())
+	}
+	s.SetRunnable(task, true)
+	run(s, 100*time.Millisecond)
+	if g.Usage() == 0 {
+		t.Fatal("woken task consumed nothing")
+	}
+}
+
+func TestOversubscriptionPenalty(t *testing.T) {
+	s := NewScheduler(2)
+	g := newBusyGroup(s, "a", 8) // 8 tasks on 2 CPUs: r = 4
+	g.Gamma = 0.5
+	var useful, raw units.CPUSeconds
+	for _, task := range []*Task{} {
+		_ = task
+	}
+	for i := range g.tasks {
+		g.tasks[i].OnTick = func(now time.Duration, u, r units.CPUSeconds) {
+			useful += u
+			raw += r
+		}
+	}
+	run(s, time.Second)
+	eff := float64(useful) / float64(raw)
+	want := 1 / (1 + 0.5*3) // r-1 = 3
+	if math.Abs(eff-want) > 1e-6 {
+		t.Fatalf("efficiency = %v, want %v", eff, want)
+	}
+}
+
+func TestPerTaskGammaOverride(t *testing.T) {
+	s := NewScheduler(1)
+	g := newBusyGroup(s, "a", 4) // r = 4
+	g.Gamma = 0.9
+	var usefulA, usefulB, rawA units.CPUSeconds
+	g.tasks[0].Gamma = 0.1
+	g.tasks[0].OnTick = func(now time.Duration, u, r units.CPUSeconds) { usefulA += u; rawA += r }
+	g.tasks[1].OnTick = func(now time.Duration, u, r units.CPUSeconds) { usefulB += u }
+	run(s, time.Second)
+	effA := float64(usefulA) / float64(rawA)
+	if want := 1 / (1 + 0.1*3.0); math.Abs(effA-want) > 1e-6 {
+		t.Fatalf("task gamma override: eff = %v, want %v", effA, want)
+	}
+	if usefulB >= usefulA {
+		t.Fatal("high-gamma task should get less useful work than low-gamma peer")
+	}
+}
+
+func TestThrottledGroupLoadContribution(t *testing.T) {
+	// 20 runnable tasks in a 4-CPU quota group contribute ~4 to load,
+	// not 20 (Linux dequeues throttled groups).
+	s := NewScheduler(20)
+	g := newBusyGroup(s, "a", 20)
+	g.QuotaUS, g.PeriodUS = 400_000, 100_000
+	s.LoadAvgTau = 100 * time.Millisecond
+	run(s, 2*time.Second)
+	if la := s.LoadAvg(); math.Abs(la-4.0) > 0.2 {
+		t.Fatalf("loadavg = %v, want ~4 for a throttled 20-task group", la)
+	}
+}
+
+func TestUnthrottledLoadCountsAllRunnable(t *testing.T) {
+	s := NewScheduler(4)
+	newBusyGroup(s, "a", 16)
+	s.LoadAvgTau = 100 * time.Millisecond
+	run(s, 2*time.Second)
+	if la := s.LoadAvg(); math.Abs(la-16.0) > 0.5 {
+		t.Fatalf("loadavg = %v, want ~16 for runqueue-waiting tasks", la)
+	}
+}
+
+func TestSchedPeriod(t *testing.T) {
+	s := NewScheduler(4)
+	newBusyGroup(s, "a", 4)
+	run(s, tick)
+	if p := s.SchedPeriod(); p != 24*time.Millisecond {
+		t.Fatalf("period with 4 tasks = %v, want 24ms", p)
+	}
+	newBusyGroup(s, "b", 8)
+	run(s, tick)
+	if p := s.SchedPeriod(); p != 36*time.Millisecond {
+		t.Fatalf("period with 12 tasks = %v, want 36ms", p)
+	}
+}
+
+func TestWindowUsageAndSlack(t *testing.T) {
+	s := NewScheduler(4)
+	g := newBusyGroup(s, "a", 2)
+	run(s, time.Second)
+	if u := g.TakeWindowUsage(); math.Abs(float64(u)-2.0) > 1e-6 {
+		t.Fatalf("window usage = %v, want 2", u)
+	}
+	if u := g.PeekWindowUsage(); u != 0 {
+		t.Fatalf("window not reset: %v", u)
+	}
+	if sl := s.TakeWindowSlack(); math.Abs(float64(sl)-2.0) > 1e-6 {
+		t.Fatalf("window slack = %v, want 2", sl)
+	}
+	if sl := s.TakeWindowSlack(); sl != 0 {
+		t.Fatalf("slack window not reset: %v", sl)
+	}
+}
+
+func TestRemoveTaskAndGroup(t *testing.T) {
+	s := NewScheduler(4)
+	g := newBusyGroup(s, "a", 3)
+	s.RemoveTask(g.tasks[0])
+	if g.Tasks() != 2 {
+		t.Fatalf("tasks after removal = %d", g.Tasks())
+	}
+	s.RemoveGroup(g)
+	if len(s.Groups()) != 0 {
+		t.Fatal("group not removed")
+	}
+	run(s, 10*time.Millisecond) // must not panic
+}
+
+func TestWakingRemovedTaskPanics(t *testing.T) {
+	s := NewScheduler(1)
+	g := s.NewGroup("a")
+	task := s.NewTask(g, "t")
+	s.RemoveTask(task)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic waking removed task")
+		}
+	}()
+	s.SetRunnable(task, true)
+}
+
+// TestAllocationConservationProperty: for random configurations, the
+// scheduler never allocates more than NCPU total, never exceeds any
+// group's cap, and work-conserves (slack only when every group is
+// saturated).
+func TestAllocationConservationProperty(t *testing.T) {
+	f := func(seed uint8) bool {
+		ncpu := int(seed%15) + 2
+		s := NewScheduler(ncpu)
+		ngroups := int(seed%4) + 1
+		groups := make([]*Group, ngroups)
+		for i := 0; i < ngroups; i++ {
+			tasks := (int(seed)*(i+3))%9 + 1
+			groups[i] = newBusyGroup(s, "g", tasks)
+			groups[i].Shares = int64(1024 * (i + 1))
+			if i%2 == 0 {
+				groups[i].QuotaUS = int64(100_000 * (i + 1))
+				groups[i].PeriodUS = 100_000
+			}
+		}
+		s.Tick(tick, tick)
+		var total float64
+		saturated := true
+		for _, g := range groups {
+			r := g.LastRate()
+			total += r
+			cap := float64(g.RunnableTasks())
+			if lim := g.CPULimit(); lim < cap {
+				cap = lim
+			}
+			if r > cap+1e-9 {
+				return false // exceeded cap
+			}
+			if r < cap-1e-9 {
+				saturated = false
+			}
+		}
+		if total > float64(ncpu)+1e-9 {
+			return false
+		}
+		if total < float64(ncpu)-1e-9 && !saturated {
+			return false // left capacity while a group wanted more
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,280 @@
+package cfs
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// refScheduler is an independent, deliberately naive reference model of
+// CFS: cores are assigned to tasks quantum by quantum, picking at each
+// step the most under-served entity by virtual runtime (usage/shares),
+// hierarchically, honoring cpuset concurrency and per-period quotas.
+// The fluid water-fill in Tick must agree with this model's
+// time-averaged allocations — this test is the substrate's ground truth.
+type refScheduler struct {
+	ncpu    int
+	quantum time.Duration
+	period  time.Duration // quota accounting period
+
+	groups []*refGroup
+}
+
+type refGroup struct {
+	shares   int64
+	quota    float64 // CPUs; +Inf if unlimited
+	cpusetN  int     // 0 = unrestricted
+	parent   *refGroup
+	children []*refGroup
+	tasks    int // runnable tasks (leaf only)
+
+	usage       float64 // total CPU-seconds
+	periodUsage float64 // CPU-seconds within the current quota period
+	running     int     // cores assigned this quantum
+}
+
+func (g *refGroup) vruntime() float64 { return g.usage / float64(g.shares) }
+
+func (g *refGroup) eligible(quantumSec float64) bool {
+	if g.cpusetN > 0 && g.running >= g.cpusetN {
+		return false
+	}
+	if !math.IsInf(g.quota, 1) {
+		// Would this quantum push the group past its quota budget for
+		// the period?
+		if g.periodUsage+quantumSec > g.quota*0.1 { // period is 100ms
+			return false
+		}
+	}
+	return true
+}
+
+func (r *refScheduler) step() {
+	for _, g := range r.groups {
+		g.running = 0
+	}
+	quantumSec := r.quantum.Seconds()
+
+	type placement struct{ leaf *refGroup }
+	var placed []placement
+	for core := 0; core < r.ncpu; core++ {
+		// Pick the most under-served eligible top-level entity.
+		var top *refGroup
+		for _, g := range r.groups {
+			if g.parent != nil {
+				continue
+			}
+			if !r.hasCapacity(g, quantumSec) {
+				continue
+			}
+			if top == nil || g.vruntime() < top.vruntime() {
+				top = g
+			}
+		}
+		if top == nil {
+			break
+		}
+		// Descend to the most under-served eligible child (if nested).
+		leaf := top
+		if len(top.children) > 0 {
+			var best *refGroup
+			for _, c := range top.children {
+				if !r.leafHasCapacity(c, quantumSec) {
+					continue
+				}
+				if best == nil || c.vruntime() < best.vruntime() {
+					best = c
+				}
+			}
+			if best == nil {
+				break
+			}
+			leaf = best
+		}
+		leaf.running++
+		placed = append(placed, placement{leaf})
+	}
+
+	for _, p := range placed {
+		p.leaf.usage += quantumSec
+		p.leaf.periodUsage += quantumSec
+		if p.leaf.parent != nil {
+			p.leaf.parent.usage += quantumSec
+			p.leaf.parent.periodUsage += quantumSec
+		}
+	}
+}
+
+// hasCapacity reports whether the (possibly parent) entity can absorb
+// one more core this quantum.
+func (r *refScheduler) hasCapacity(g *refGroup, quantumSec float64) bool {
+	if len(g.children) == 0 {
+		return r.leafHasCapacity(g, quantumSec)
+	}
+	if !g.eligible(quantumSec) {
+		return false
+	}
+	for _, c := range g.children {
+		if r.leafHasCapacity(c, quantumSec) {
+			return true
+		}
+	}
+	return false
+}
+
+func (r *refScheduler) leafHasCapacity(g *refGroup, quantumSec float64) bool {
+	if g.running >= g.tasks {
+		return false
+	}
+	if !g.eligible(quantumSec) {
+		return false
+	}
+	if p := g.parent; p != nil && !p.eligible(quantumSec) {
+		return false
+	}
+	return true
+}
+
+func (r *refScheduler) run(d time.Duration) {
+	elapsed := time.Duration(0)
+	periodElapsed := time.Duration(0)
+	for elapsed < d {
+		r.step()
+		elapsed += r.quantum
+		periodElapsed += r.quantum
+		if periodElapsed >= r.period {
+			periodElapsed = 0
+			for _, g := range r.groups {
+				g.periodUsage = 0
+			}
+		}
+	}
+}
+
+// refCase describes one topology used by both schedulers.
+type refCase struct {
+	name string
+	ncpu int
+	flat []refSpec // top-level leaves
+	pods []refPod
+}
+
+type refSpec struct {
+	shares  int64
+	quota   float64 // 0 = unlimited
+	cpusetN int
+	tasks   int
+}
+
+type refPod struct {
+	shares  int64
+	quota   float64
+	members []refSpec
+}
+
+func buildBoth(c refCase) (*Scheduler, []*Group, *refScheduler, []*refGroup) {
+	s := NewScheduler(c.ncpu)
+	r := &refScheduler{ncpu: c.ncpu, quantum: 100 * time.Microsecond, period: 100 * time.Millisecond}
+	var leaves []*Group
+	var refLeaves []*refGroup
+
+	addLeaf := func(spec refSpec, parent *Group, refParent *refGroup) {
+		var g *Group
+		if parent == nil {
+			g = s.NewGroup("leaf")
+		} else {
+			g = s.NewChildGroup(parent, "leaf")
+		}
+		g.Shares = spec.shares
+		if spec.quota > 0 {
+			g.QuotaUS = int64(spec.quota * 100_000)
+			g.PeriodUS = 100_000
+		}
+		g.CpusetN = spec.cpusetN
+		for i := 0; i < spec.tasks; i++ {
+			s.SetRunnable(s.NewTask(g, "t"), true)
+		}
+		rg := &refGroup{
+			shares: spec.shares, quota: math.Inf(1),
+			cpusetN: spec.cpusetN, tasks: spec.tasks, parent: refParent,
+		}
+		if spec.quota > 0 {
+			rg.quota = spec.quota
+		}
+		if refParent != nil {
+			refParent.children = append(refParent.children, rg)
+		}
+		r.groups = append(r.groups, rg)
+		leaves = append(leaves, g)
+		refLeaves = append(refLeaves, rg)
+	}
+
+	for _, spec := range c.flat {
+		addLeaf(spec, nil, nil)
+	}
+	for _, pod := range c.pods {
+		pg := s.NewGroup("pod")
+		pg.Shares = pod.shares
+		if pod.quota > 0 {
+			pg.QuotaUS = int64(pod.quota * 100_000)
+			pg.PeriodUS = 100_000
+		}
+		rpg := &refGroup{shares: pod.shares, quota: math.Inf(1)}
+		if pod.quota > 0 {
+			rpg.quota = pod.quota
+		}
+		r.groups = append(r.groups, rpg)
+		for _, m := range pod.members {
+			addLeaf(m, pg, rpg)
+		}
+	}
+	return s, leaves, r, refLeaves
+}
+
+// TestFluidMatchesReference cross-validates the production water-fill
+// against the quantum-granularity reference on a battery of topologies:
+// time-averaged per-leaf usage must agree within 5% of one CPU.
+func TestFluidMatchesReference(t *testing.T) {
+	cases := []refCase{
+		{name: "two-equal", ncpu: 4, flat: []refSpec{
+			{shares: 1024, tasks: 8}, {shares: 1024, tasks: 8}}},
+		{name: "weighted", ncpu: 6, flat: []refSpec{
+			{shares: 2048, tasks: 6}, {shares: 1024, tasks: 6}}},
+		{name: "quota-capped", ncpu: 8, flat: []refSpec{
+			{shares: 1024, quota: 2, tasks: 8}, {shares: 1024, tasks: 8}}},
+		{name: "cpuset-capped", ncpu: 8, flat: []refSpec{
+			{shares: 1024, cpusetN: 3, tasks: 8}, {shares: 1024, tasks: 8}}},
+		{name: "task-limited", ncpu: 8, flat: []refSpec{
+			{shares: 1024, tasks: 2}, {shares: 1024, tasks: 8}}},
+		{name: "three-way-mixed", ncpu: 12, flat: []refSpec{
+			{shares: 1024, quota: 3, tasks: 6},
+			{shares: 3072, tasks: 4},
+			{shares: 512, tasks: 12}}},
+		{name: "pod-vs-flat", ncpu: 8, flat: []refSpec{{shares: 1024, tasks: 8}},
+			pods: []refPod{{shares: 1024, members: []refSpec{
+				{shares: 1024, tasks: 4}, {shares: 1024, tasks: 4}}}}},
+		{name: "pod-weighted-members", ncpu: 8,
+			pods: []refPod{{shares: 1024, quota: 6, members: []refSpec{
+				{shares: 3072, tasks: 8}, {shares: 1024, tasks: 8}}}}},
+	}
+
+	const horizon = time.Second
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			s, leaves, r, refLeaves := buildBoth(c)
+			var now time.Duration
+			for now < horizon {
+				now += tick
+				s.Tick(now, tick)
+			}
+			r.run(horizon)
+			for i := range leaves {
+				fluid := float64(leaves[i].Usage())
+				ref := refLeaves[i].usage
+				if math.Abs(fluid-ref) > 0.05*horizon.Seconds() {
+					t.Errorf("leaf %d: fluid %.3f vs reference %.3f CPU-s", i, fluid, ref)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,345 @@
+// Package container provides a docker-like container runtime over the
+// simulated kernel: each container is a cgroup (cpu + memory controllers),
+// a set of namespaces including the paper's sys_namespace, and a group of
+// processes with virtual PIDs.
+//
+// The package reproduces the lifecycle subtlety §3.2 of the paper solves:
+// at launch a container gets a bootstrap init process that sets up the
+// namespaces and then execs the user command. The original init
+// terminates, so the sys_namespace — which the OS must keep updating —
+// would be left owned by a dead task. As in the paper's modified execve,
+// ownership is transferred to the new init process when the bootstrap
+// init reaches TASK_DEAD.
+package container
+
+import (
+	"fmt"
+
+	"arv/internal/cgroups"
+	"arv/internal/sysfs"
+	"arv/internal/sysns"
+	"arv/internal/units"
+)
+
+// Spec describes the resources of a container, i.e. what an administrator
+// passes to `docker run`.
+type Spec struct {
+	Name string
+
+	// CPUShares is cpu.shares (0 selects the 1024 default).
+	CPUShares int64
+	// CPUQuotaUS / CPUPeriodUS set the bandwidth limit; QuotaUS 0 means
+	// unlimited. PeriodUS 0 selects the 100 ms default.
+	CPUQuotaUS  int64
+	CPUPeriodUS int64
+	// CpusetCPUs restricts the container to this many CPUs (0 = all).
+	CpusetCPUs int
+	// MemHard / MemSoft are memory.limit_in_bytes and
+	// memory.soft_limit_in_bytes (0 = unlimited).
+	MemHard units.Bytes
+	MemSoft units.Bytes
+	// Gamma is the oversubscription sensitivity of the container's
+	// workload (see internal/cfs).
+	Gamma float64
+}
+
+// State is a container lifecycle state.
+type State int
+
+const (
+	// Created: cgroup and namespaces exist; bootstrap init not yet
+	// replaced by the user command.
+	Created State = iota
+	// Running: the user command has been exec'd.
+	Running
+	// Stopped: the container has been destroyed.
+	Stopped
+)
+
+// String returns the state name.
+func (s State) String() string {
+	switch s {
+	case Created:
+		return "created"
+	case Running:
+		return "running"
+	case Stopped:
+		return "stopped"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// Process is a task inside a container. HostPID is the kernel's PID;
+// VPID is the PID-namespace-local PID (init is VPID 1).
+type Process struct {
+	HostPID int
+	VPID    int
+	Name    string
+	ctr     *Container
+	alive   bool
+}
+
+// Alive reports whether the process is running.
+func (p *Process) Alive() bool { return p.alive }
+
+// Container returns the owning container.
+func (p *Process) Container() *Container { return p.ctr }
+
+// Container is a live container.
+type Container struct {
+	Spec
+	Cgroup *cgroups.Cgroup
+	NS     *sysns.SysNamespace
+
+	rt       *Runtime
+	state    State
+	procs    []*Process
+	init     *Process // current init (VPID 1)
+	nextVPID int
+}
+
+// State returns the lifecycle state.
+func (c *Container) State() State { return c.state }
+
+// Init returns the container's current init process.
+func (c *Container) Init() *Process { return c.init }
+
+// Processes returns the live processes.
+func (c *Container) Processes() []*Process {
+	out := make([]*Process, 0, len(c.procs))
+	for _, p := range c.procs {
+		if p.alive {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// View returns the container's virtual sysfs view: every resource probe
+// issued by the container's processes resolves through this.
+func (c *Container) View() sysfs.View { return c.rt.resolver.For(c.NS) }
+
+// PodSpec describes a pod: a parent cgroup whose limits and share govern
+// a group of containers collectively, as Kubernetes configures a pod's
+// sandbox cgroup.
+type PodSpec struct {
+	Name string
+
+	// CPUShares is the pod's cpu.shares against other top-level
+	// entities (0 selects the 1024 default).
+	CPUShares int64
+	// CPUQuotaUS / CPUPeriodUS cap the whole pod.
+	CPUQuotaUS  int64
+	CPUPeriodUS int64
+	// CpusetCPUs restricts the pod to this many CPUs (0 = all).
+	CpusetCPUs int
+	// MemHard / MemSoft cap and guard the pod's aggregate memory.
+	MemHard units.Bytes
+	MemSoft units.Bytes
+}
+
+// Pod is a live pod: a parent cgroup holding member containers.
+type Pod struct {
+	Spec   PodSpec
+	Cgroup *cgroups.Cgroup
+
+	rt      *Runtime
+	members []*Container
+}
+
+// Members returns the pod's containers.
+func (p *Pod) Members() []*Container {
+	out := make([]*Container, 0, len(p.members))
+	for _, c := range p.members {
+		if c.State() != Stopped {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Runtime creates and manages containers on one host.
+type Runtime struct {
+	hier     *cgroups.Hierarchy
+	mon      *sysns.Monitor
+	resolver *sysfs.Resolver
+
+	nextHostPID int
+	containers  []*Container
+}
+
+// NewRuntime returns a runtime over the given kernel components.
+func NewRuntime(hier *cgroups.Hierarchy, mon *sysns.Monitor, resolver *sysfs.Resolver) *Runtime {
+	return &Runtime{hier: hier, mon: mon, resolver: resolver, nextHostPID: 1}
+}
+
+// Containers returns the non-stopped containers.
+func (rt *Runtime) Containers() []*Container {
+	out := make([]*Container, 0, len(rt.containers))
+	for _, c := range rt.containers {
+		if c.state != Stopped {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// CreatePod builds a pod: a parent cgroup with the pod-level limits.
+// Containers join it via CreateInPod.
+func (rt *Runtime) CreatePod(spec PodSpec) *Pod {
+	if spec.Name == "" {
+		panic("container: empty pod name")
+	}
+	cg := rt.hier.Create(spec.Name)
+	if spec.CPUShares > 0 {
+		cg.SetShares(spec.CPUShares)
+	}
+	period := spec.CPUPeriodUS
+	if period == 0 {
+		period = 100_000
+	}
+	if spec.CPUQuotaUS > 0 {
+		cg.SetQuota(spec.CPUQuotaUS, period)
+	}
+	if spec.CpusetCPUs > 0 {
+		cg.SetCpuset(spec.CpusetCPUs)
+	}
+	if spec.MemHard > 0 || spec.MemSoft > 0 {
+		cg.SetMemLimits(spec.MemHard, spec.MemSoft)
+	}
+	return &Pod{Spec: spec, Cgroup: cg, rt: rt}
+}
+
+// CreateInPod builds a container inside a pod: its cgroup nests under
+// the pod's, so the pod's limits govern the members collectively while
+// the members compete within it by their own shares. The container gets
+// its own sys_namespace, whose bounds account for both levels.
+func (rt *Runtime) CreateInPod(pod *Pod, spec Spec) *Container {
+	if spec.Name == "" {
+		panic("container: empty name")
+	}
+	cg := rt.hier.CreateChild(pod.Cgroup, spec.Name)
+	c := rt.finishCreate(cg, spec)
+	pod.members = append(pod.members, c)
+	return c
+}
+
+// DestroyPod stops the pod's members and removes the pod cgroup.
+func (rt *Runtime) DestroyPod(pod *Pod) {
+	for _, c := range pod.members {
+		rt.Destroy(c)
+	}
+	if !pod.Cgroup.Removed() {
+		rt.hier.Remove(pod.Cgroup)
+	}
+}
+
+// Create builds the container: cgroup with the spec's limits, a
+// sys_namespace attached by ns_monitor, and the bootstrap init process,
+// which owns the namespaces.
+func (rt *Runtime) Create(spec Spec) *Container {
+	if spec.Name == "" {
+		panic("container: empty name")
+	}
+	return rt.finishCreate(rt.hier.Create(spec.Name), spec)
+}
+
+// finishCreate applies a container spec to its (flat or pod-member)
+// cgroup and completes creation: namespace attachment and the bootstrap
+// init process.
+func (rt *Runtime) finishCreate(cg *cgroups.Cgroup, spec Spec) *Container {
+	if spec.CPUShares > 0 {
+		cg.SetShares(spec.CPUShares)
+	}
+	period := spec.CPUPeriodUS
+	if period == 0 {
+		period = 100_000
+	}
+	if spec.CPUQuotaUS > 0 {
+		cg.SetQuota(spec.CPUQuotaUS, period)
+	}
+	if spec.CpusetCPUs > 0 {
+		cg.SetCpuset(spec.CpusetCPUs)
+	}
+	if spec.MemHard > 0 || spec.MemSoft > 0 {
+		cg.SetMemLimits(spec.MemHard, spec.MemSoft)
+	}
+	cg.CPU.Gamma = spec.Gamma
+
+	c := &Container{Spec: spec, Cgroup: cg, rt: rt, nextVPID: 1}
+	c.NS = rt.mon.Attach(cg)
+	boot := c.fork("bootstrap-init")
+	c.init = boot
+	c.NS.OwnerPID = boot.HostPID
+	rt.containers = append(rt.containers, c)
+	return c
+}
+
+// Exec models `docker run CMD`: the bootstrap init execs the user
+// command and terminates; the process started by exec becomes the new
+// init, and ownership of the sys_namespace is transferred to it (the
+// paper's modified execve firing on TASK_DEAD). It returns the new init.
+func (c *Container) Exec(command string) *Process {
+	if c.state == Stopped {
+		panic("container: Exec on stopped container " + c.Name)
+	}
+	old := c.init
+	p := &Process{
+		HostPID: c.rt.allocPID(),
+		VPID:    1, // replaces init in the PID namespace
+		Name:    command,
+		ctr:     c,
+		alive:   true,
+	}
+	c.procs = append(c.procs, p)
+	old.alive = false // TASK_DEAD
+	c.init = p
+	// Ownership transfer: the namespace stays updatable by the kernel
+	// for the life of the container.
+	c.NS.OwnerPID = p.HostPID
+	c.state = Running
+	return p
+}
+
+// Spawn forks a new process inside the container; it inherits the
+// namespaces (and hence the virtual sysfs view).
+func (c *Container) Spawn(name string) *Process {
+	if c.state == Stopped {
+		panic("container: Spawn on stopped container " + c.Name)
+	}
+	return c.fork(name)
+}
+
+func (c *Container) fork(name string) *Process {
+	c.nextVPID++
+	p := &Process{
+		HostPID: c.rt.allocPID(),
+		VPID:    c.nextVPID - 1,
+		Name:    name,
+		ctr:     c,
+		alive:   true,
+	}
+	c.procs = append(c.procs, p)
+	return p
+}
+
+// Destroy stops the container, kills its processes, and removes its
+// cgroup; ns_monitor detaches the sys_namespace via the Removed event
+// and recomputes the bounds of the survivors.
+func (rt *Runtime) Destroy(c *Container) {
+	if c.state == Stopped {
+		return
+	}
+	for _, p := range c.procs {
+		p.alive = false
+	}
+	c.state = Stopped
+	rt.hier.Remove(c.Cgroup)
+}
+
+func (rt *Runtime) allocPID() int {
+	pid := rt.nextHostPID
+	rt.nextHostPID++
+	return pid
+}

@@ -1,0 +1,191 @@
+package container
+
+import (
+	"testing"
+	"time"
+
+	"arv/internal/cfs"
+	"arv/internal/cgroups"
+	"arv/internal/memctl"
+	"arv/internal/sim"
+	"arv/internal/sysfs"
+	"arv/internal/sysns"
+	"arv/internal/units"
+)
+
+func newRuntime() (*Runtime, *cgroups.Hierarchy) {
+	sched := cfs.NewScheduler(20)
+	mem := memctl.New(memctl.Config{Total: 128 * units.GiB})
+	hier := cgroups.NewHierarchy(sched, mem)
+	mon := sysns.NewMonitor(hier, sim.NewClock(time.Millisecond), sysns.Options{})
+	res := sysfs.NewResolver(&sysfs.HostView{Sched: sched, Mem: mem})
+	return NewRuntime(hier, mon, res), hier
+}
+
+func TestCreateAppliesSpec(t *testing.T) {
+	rt, hier := newRuntime()
+	c := rt.Create(Spec{
+		Name:       "web",
+		CPUShares:  2048,
+		CPUQuotaUS: 400_000, CPUPeriodUS: 100_000,
+		CpusetCPUs: 8,
+		MemHard:    4 * units.GiB,
+		MemSoft:    2 * units.GiB,
+		Gamma:      0.4,
+	})
+	cg := hier.Lookup("web")
+	if cg != c.Cgroup {
+		t.Fatal("cgroup not registered")
+	}
+	if cg.CPU.Shares != 2048 || cg.CPU.CPULimit() != 4 || cg.CPU.CpusetN != 8 {
+		t.Fatal("cpu settings not applied")
+	}
+	if cg.Mem.HardLimit != 4*units.GiB || cg.Mem.SoftLimit != 2*units.GiB {
+		t.Fatal("memory limits not applied")
+	}
+	if cg.CPU.Gamma != 0.4 {
+		t.Fatal("gamma not applied")
+	}
+	if c.NS == nil {
+		t.Fatal("sys_namespace not attached")
+	}
+	if c.State() != Created {
+		t.Fatalf("state = %v", c.State())
+	}
+}
+
+func TestDefaultPeriodApplied(t *testing.T) {
+	rt, _ := newRuntime()
+	c := rt.Create(Spec{Name: "a", CPUQuotaUS: 200_000})
+	if lim := c.Cgroup.CPU.CPULimit(); lim != 2 {
+		t.Fatalf("limit = %v with default 100ms period, want 2", lim)
+	}
+}
+
+// TestInitOwnershipTransfer verifies the §3.2 mechanism: the bootstrap
+// init owns the namespaces; exec replaces it, the original init reaches
+// TASK_DEAD, and ownership transfers to the new init so the kernel can
+// keep updating the namespace for the container's lifetime.
+func TestInitOwnershipTransfer(t *testing.T) {
+	rt, _ := newRuntime()
+	c := rt.Create(Spec{Name: "a"})
+	boot := c.Init()
+	if !boot.Alive() || c.NS.OwnerPID != boot.HostPID {
+		t.Fatal("bootstrap init must own the namespace")
+	}
+	p := c.Exec("java -jar app.jar")
+	if boot.Alive() {
+		t.Fatal("bootstrap init must be TASK_DEAD after exec")
+	}
+	if c.Init() != p || p.VPID != 1 {
+		t.Fatalf("new init VPID = %d, want 1", p.VPID)
+	}
+	if c.NS.OwnerPID != p.HostPID {
+		t.Fatal("namespace ownership not transferred to the new init")
+	}
+	if c.State() != Running {
+		t.Fatalf("state = %v, want running", c.State())
+	}
+}
+
+func TestSpawnInheritsNamespaces(t *testing.T) {
+	rt, _ := newRuntime()
+	c := rt.Create(Spec{Name: "a"})
+	c.Exec("sh")
+	p1 := c.Spawn("worker-1")
+	p2 := c.Spawn("worker-2")
+	if p1.VPID == p2.VPID || p1.VPID <= 1 {
+		t.Fatalf("vpids = %d, %d", p1.VPID, p2.VPID)
+	}
+	if p1.HostPID == p2.HostPID {
+		t.Fatal("host PIDs must be unique")
+	}
+	if p1.Container() != c {
+		t.Fatal("container link broken")
+	}
+	if got := len(c.Processes()); got != 3 { // init + 2 workers
+		t.Fatalf("live processes = %d, want 3", got)
+	}
+}
+
+func TestHostPIDsGloballyUnique(t *testing.T) {
+	rt, _ := newRuntime()
+	a := rt.Create(Spec{Name: "a"})
+	b := rt.Create(Spec{Name: "b"})
+	pa := a.Exec("x")
+	pb := b.Exec("y")
+	if pa.HostPID == pb.HostPID {
+		t.Fatal("host PID collision across containers")
+	}
+	if pa.VPID != 1 || pb.VPID != 1 {
+		t.Fatal("each container's init must be VPID 1 in its own namespace")
+	}
+}
+
+func TestViewIsVirtual(t *testing.T) {
+	rt, _ := newRuntime()
+	c := rt.Create(Spec{Name: "a", CpusetCPUs: 2})
+	c.Exec("app")
+	if got := c.View().OnlineCPUs(); got != c.NS.EffectiveCPU() {
+		t.Fatalf("view online CPUs = %d, want %d", got, c.NS.EffectiveCPU())
+	}
+}
+
+func TestDestroy(t *testing.T) {
+	rt, hier := newRuntime()
+	c := rt.Create(Spec{Name: "a"})
+	c.Exec("app")
+	rt.Destroy(c)
+	if c.State() != Stopped {
+		t.Fatalf("state = %v", c.State())
+	}
+	if len(c.Processes()) != 0 {
+		t.Fatal("processes survived destroy")
+	}
+	if hier.Lookup("a") != nil {
+		t.Fatal("cgroup survived destroy")
+	}
+	if len(rt.Containers()) != 0 {
+		t.Fatal("destroyed container still listed")
+	}
+	rt.Destroy(c) // idempotent
+}
+
+func TestStoppedContainerRejectsWork(t *testing.T) {
+	rt, _ := newRuntime()
+	c := rt.Create(Spec{Name: "a"})
+	rt.Destroy(c)
+	for name, fn := range map[string]func(){
+		"exec":  func() { c.Exec("x") },
+		"spawn": func() { c.Spawn("x") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s on stopped container must panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestEmptyNamePanics(t *testing.T) {
+	rt, _ := newRuntime()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	rt.Create(Spec{})
+}
+
+func TestStateString(t *testing.T) {
+	for s, want := range map[State]string{
+		Created: "created", Running: "running", Stopped: "stopped",
+	} {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q", int(s), s.String())
+		}
+	}
+}

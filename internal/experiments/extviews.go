@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"arv/internal/container"
+	"arv/internal/omp"
+	"arv/internal/texttable"
+	"arv/internal/units"
+	"arv/internal/workloads"
+)
+
+func init() {
+	register("ext-views", "Extension: host view vs LXCFS static limits vs adaptive view", ExtViews)
+}
+
+// ExtViews quantifies the paper's core argument against the prior art
+// (§1, §6): LXCFS and the Linux cgroup namespace export only the
+// administrator-set *limits*, which is (a) no better than the host view
+// when the container is limited by shares alone, and (b) unable to
+// exploit capacity freed by co-runners when a static limit exists.
+//
+// Scenario A (shares only): five equal-share containers run the same
+// NPB kernel — the static-limits view has nothing to report and
+// over-threads exactly like the host view; adaptive finds the 4-CPU
+// effective share.
+//
+// Scenario B (limit + varying load): one container with a 10-core quota
+// runs a long kernel while staggered sysbench containers drain away.
+// The static-limits view sizes teams at 10 threads forever; the host
+// view at 20; adaptive follows effective CPU from the contended share
+// to the quota as the host empties.
+func ExtViews(opts Options) *Result {
+	strategies := []omp.Strategy{omp.Static, omp.StaticLimits, omp.Adaptive}
+
+	ta := texttable.New("(A) five equal-share containers (no limits set): exec time normalized to host-view",
+		"kernel", "host-view", "lxcfs", "adaptive")
+	for _, name := range []string{"cg", "ft", "lu"} {
+		k := scaleKernel(workloads.NPB(name), opts.scale())
+		var times [3]time.Duration
+		for i, s := range strategies {
+			times[i] = fig10Shared(k, s, 5)
+		}
+		ta.AddRow(name, ratio(times[0], times[0]), ratio(times[1], times[0]), ratio(times[2], times[0]))
+	}
+
+	tb := texttable.New("(B) one 10-core-quota container + draining co-runners: exec time normalized to host-view",
+		"kernel", "host-view", "lxcfs", "adaptive", "lxcfs_threads", "adaptive_threads(first->last)")
+	for _, name := range []string{"cg", "ft", "lu"} {
+		k := scaleKernel(workloads.NPB(name), opts.scale())
+		var times [3]time.Duration
+		var lxcfsThreads int
+		var adFirst, adLast int
+		for i, s := range strategies {
+			h := paperHost(time.Millisecond)
+			specs := []container.Spec{{
+				Name:       "npb",
+				CPUQuotaUS: 1_000_000, CPUPeriodUS: 100_000,
+			}}
+			for j := 0; j < 8; j++ {
+				specs = append(specs, container.Spec{Name: fmt.Sprintf("sb%d", j)})
+			}
+			ctrs := createContainers(h, specs)
+			// Staggered co-runners saturating the host for most of the
+			// kernel's run, draining toward its end.
+			est := float64(k.TotalWork()) / 2.5
+			for j := 0; j < 8; j++ {
+				work := (0.5 + 0.5*float64(j+1)/8) * est * 2.2
+				workloads.NewSysbench(h, ctrs[j+1], 4, units.CPUSeconds(work)).Start()
+			}
+			h.Run(2 * time.Second) // settle effective CPU under load
+			p := omp.New(h, ctrs[0], k, s)
+			p.Start()
+			h.RunUntil(p.Done, 4*time.Hour)
+			times[i] = p.ExecTime()
+			switch s {
+			case omp.StaticLimits:
+				lxcfsThreads = p.ThreadTrace[0]
+			case omp.Adaptive:
+				adFirst = p.ThreadTrace[0]
+				adLast = p.ThreadTrace[len(p.ThreadTrace)-1]
+			}
+		}
+		tb.AddRow(name,
+			ratio(times[0], times[0]), ratio(times[1], times[0]), ratio(times[2], times[0]),
+			lxcfsThreads, fmt.Sprintf("%d->%d", adFirst, adLast))
+	}
+
+	return &Result{
+		ID: "ext-views", Title: "Why static-limit views (LXCFS, cgroup namespace) are not enough",
+		Tables: []*texttable.Table{ta, tb},
+		Notes: []string{
+			"(A) With only shares configured, LXCFS has no limit to report and behaves exactly like the host view; the semantic gap is untouched.",
+			"(B) With a quota, LXCFS at least avoids host-view over-threading, but fixes the team at the limit: it over-threads the contended phase (10 threads on a ~2-CPU allocation). Adaptive right-sizes that phase and grows with the drain; its advantage is bounded by Algorithm 1's deliberately gradual (+1 per update, utilization-gated) ramp-up across region boundaries.",
+		},
+	}
+}

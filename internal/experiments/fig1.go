@@ -1,0 +1,33 @@
+package experiments
+
+import (
+	"fmt"
+
+	"arv/internal/dockerhub"
+	"arv/internal/texttable"
+)
+
+func init() {
+	register("fig1", "Analysis of the top 100 application images on DockerHub", Fig1)
+}
+
+// Fig1 regenerates Figure 1: per-language affected/unaffected counts of
+// the top-100 DockerHub image audit.
+func Fig1(Options) *Result {
+	t := texttable.New("DockerHub top-100 images: container semantic-gap exposure",
+		"language", "affected", "unaffected", "total")
+	for _, c := range dockerhub.CountByLanguage() {
+		t.AddRow(c.Language, c.Affected, c.Unaffected, c.Total())
+	}
+	aff, total := dockerhub.TotalAffected()
+	t.AddRow("all", aff, total-aff, total)
+
+	return &Result{
+		ID:     "fig1",
+		Title:  "DockerHub audit (Fig. 1)",
+		Tables: []*texttable.Table{t},
+		Notes: []string{
+			fmt.Sprintf("%d of the top %d images are potentially affected by the semantic gap; all Java- and PHP-based images are affected.", aff, total),
+		},
+	}
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"arv/internal/container"
+	"arv/internal/omp"
+	"arv/internal/texttable"
+	"arv/internal/workloads"
+)
+
+func init() {
+	register("fig10", "OpenMP (NPB) with static, dynamic, and adaptive threads", Fig10)
+}
+
+func scaleKernel(k omp.Kernel, s float64) omp.Kernel {
+	k.Regions = int(float64(k.Regions)*s + 0.999)
+	if k.Regions < 1 {
+		k.Regions = 1
+	}
+	return k
+}
+
+// fig10Shared runs n equal-share containers, each executing the same NPB
+// kernel under one strategy, and returns the mean execution time.
+func fig10Shared(k omp.Kernel, strategy omp.Strategy, n int) time.Duration {
+	h := paperHost(time.Millisecond)
+	ctrs := make([]*container.Container, n)
+	for i := 0; i < n; i++ {
+		ctrs[i] = h.Runtime.Create(container.Spec{Name: fmt.Sprintf("c%d", i)})
+		ctrs[i].Exec(k.Name)
+	}
+	progs := make([]*omp.Program, 0, n)
+	for _, ctr := range ctrs {
+		p := omp.New(h, ctr, k, strategy)
+		p.Start()
+		progs = append(progs, p)
+	}
+	h.RunUntilDone(4 * time.Hour)
+	var total time.Duration
+	for _, p := range progs {
+		total += p.ExecTime()
+	}
+	return total / time.Duration(n)
+}
+
+// fig10Quota runs one container holding a quota equivalent to 4 cores.
+func fig10Quota(k omp.Kernel, strategy omp.Strategy) time.Duration {
+	h := paperHost(time.Millisecond)
+	ctr := h.Runtime.Create(container.Spec{
+		Name:       "npb",
+		CPUQuotaUS: 400_000, CPUPeriodUS: 100_000,
+	})
+	ctr.Exec(k.Name)
+	p := omp.New(h, ctr, k, strategy)
+	p.Start()
+	h.RunUntilDone(4 * time.Hour)
+	return p.ExecTime()
+}
+
+// Fig10 reproduces Fig. 10: the NAS Parallel Benchmarks under the three
+// OpenMP thread strategies, (a) five co-located equal-share containers
+// and (b) a single container with a 4-core quota. Execution time is
+// normalized to static, as in the paper.
+func Fig10(opts Options) *Result {
+	strategies := []omp.Strategy{omp.Static, omp.Dynamic, omp.Adaptive}
+
+	ta := texttable.New("(a) five containers with equal shares: exec time normalized to static",
+		"kernel", "static", "dynamic", "adaptive")
+	tb := texttable.New("(b) one container with a 4-core quota: exec time normalized to static",
+		"kernel", "static", "dynamic", "adaptive")
+
+	for _, name := range workloads.NPBNames {
+		k := scaleKernel(workloads.NPB(name), opts.scale())
+		var shared, quota [3]time.Duration
+		for i, s := range strategies {
+			shared[i] = fig10Shared(k, s, 5)
+			quota[i] = fig10Quota(k, s)
+		}
+		ta.AddRow(name, ratio(shared[0], shared[0]), ratio(shared[1], shared[0]), ratio(shared[2], shared[0]))
+		tb.AddRow(name, ratio(quota[0], quota[0]), ratio(quota[1], quota[0]), ratio(quota[2], quota[0]))
+	}
+
+	return &Result{
+		ID: "fig10", Title: "Dynamic parallelism in OpenMP (Fig. 10)",
+		Tables: []*texttable.Table{ta, tb},
+		Notes: []string{
+			"In (a) the high system-wide load drives the dynamic strategy (n_onln - loadavg) to one thread per region even though each container is guaranteed 4 CPUs; in (b) it launches nearly 20 threads into a 4-CPU container. Both misconfigurations lose badly to effective CPU.",
+		},
+	}
+}

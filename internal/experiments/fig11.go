@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"time"
+
+	"arv/internal/container"
+	"arv/internal/jvm"
+	"arv/internal/texttable"
+	"arv/internal/units"
+	"arv/internal/workloads"
+)
+
+func init() {
+	register("fig11", "Elastic heap avoids memory overcommitment (DaCapo)", Fig11)
+}
+
+// Fig11 reproduces Fig. 11: DaCapo benchmarks in a container with a
+// 1 GiB hard memory limit, started with -Xms 500 MiB and no -Xmx, so the
+// vanilla JVM's ergonomics pick a 32 GiB maximum heap (a quarter of the
+// 128 GiB host) and adaptive sizing grows the committed heap straight
+// through the hard limit into swap. The elastic JVM's VirtualMax tracks
+// effective memory (the 1 GiB limit) and never overcommits, at the cost
+// of more frequent GCs. Execution and GC time are normalized to vanilla.
+func Fig11(opts Options) *Result {
+	t := texttable.New("execution and GC time with a 1 GiB hard limit, normalized to vanilla",
+		"benchmark", "exec_vanilla", "exec_elastic", "gc_vanilla", "gc_elastic",
+		"swap_vanilla", "swap_elastic", "gcs_vanilla", "gcs_elastic")
+
+	for _, name := range workloads.DaCapoNames {
+		w := scaleWorkload(workloads.DaCapo(name), opts.scale())
+		var execs, gcs [2]time.Duration
+		var swaps [2]units.Bytes
+		var ngcs [2]int
+		for ci, elastic := range []bool{false, true} {
+			h := paperHost(time.Millisecond)
+			spec := container.Spec{Name: "c0", MemHard: 1 * units.GiB, Gamma: gammaDaCapo}
+			cfg := jvm.Config{Xms: 500 * units.MiB}
+			if elastic {
+				cfg.Policy = jvm.Adaptive
+				cfg.ElasticHeap = true
+				cfg.ElasticPeriod = 10 * time.Second
+			} else {
+				cfg.Policy = jvm.Vanilla8
+			}
+			j := launchJVM(h, spec, w, cfg)
+			h.RunUntil(j.Done, 6*time.Hour)
+			execs[ci] = j.Stats.ExecTime()
+			gcs[ci] = j.Stats.GCTime
+			so, _ := h.Cgroups.Lookup("c0").Mem.SwapTraffic()
+			swaps[ci] = so
+			ngcs[ci] = j.Stats.MinorGCs + j.Stats.MajorGCs
+		}
+		t.AddRow(name,
+			ratio(execs[0], execs[0]), ratio(execs[1], execs[0]),
+			ratio(gcs[0], gcs[0]), ratio(gcs[1], gcs[0]),
+			swaps[0].String(), swaps[1].String(), ngcs[0], ngcs[1])
+	}
+
+	return &Result{
+		ID: "fig11", Title: "Avoiding memory overcommitment (Fig. 11)",
+		Tables: []*texttable.Table{t},
+		Notes: []string{
+			"Benchmarks whose committed heap stays under 1 GiB (h2, jython, sunflow) see no benefit; allocation-heavy ones (lusearch, xalan) collapse under swapping in the vanilla JVM — elastic completes an order of magnitude (or more) faster while paying with extra GCs.",
+		},
+	}
+}

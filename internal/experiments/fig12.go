@@ -1,0 +1,171 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"arv/internal/container"
+	"arv/internal/host"
+	"arv/internal/jvm"
+	"arv/internal/texttable"
+	"arv/internal/units"
+	"arv/internal/workloads"
+)
+
+func init() {
+	register("fig12", "Heap traces for the §5.3 micro-benchmark (vanilla vs elastic)", Fig12)
+}
+
+// heapSampler records used/committed/VirtualMax of a JVM every period.
+type heapSampler struct {
+	used, committed, vmax texttable.Series
+}
+
+func sampleHeap(h *host.Host, j *jvm.JVM, period time.Duration, s *heapSampler) {
+	h.Clock.Every(period, func(now time.Duration) {
+		if j.Done() {
+			return
+		}
+		x := now.Seconds()
+		hp := j.Heap()
+		s.used.Add(x, hp.Used().GB())
+		s.committed.Add(x, hp.Committed().GB())
+		vm := hp.VirtualMax
+		if vm == 0 {
+			vm = hp.Ceiling()
+		}
+		s.vmax.Add(x, vm.GB())
+	})
+}
+
+// fig12Spec is the §5.3 container: 30 GiB hard limit, 15 GiB soft limit.
+func fig12Spec(name string) container.Spec {
+	return container.Spec{
+		Name:    name,
+		MemHard: 30 * units.GiB,
+		MemSoft: 15 * units.GiB,
+		Gamma:   gammaDaCapo,
+	}
+}
+
+// Fig12 reproduces Fig. 12: the micro-benchmark that allocates 1 MiB and
+// frees 512 KiB per iteration (20 GiB working set, 40 GiB touched) in
+// containers with a 30 GiB hard / 15 GiB soft limit.
+//
+//	(a) a single container under the vanilla JVM (JDK 10 style: the max
+//	    heap set to the detected hard limit, committed expanding fast);
+//	(b) the same under the elastic JVM (VirtualMax follows effective
+//	    memory from the soft limit toward the hard limit);
+//	(c) five such containers with elastic JVMs: aggregate demand exceeds
+//	    the 128 GiB host, so effective memory converges below the hard
+//	    limit and all complete — while five vanilla JVMs thrash.
+func Fig12(opts Options) *Result {
+	w := scaleWorkload(workloads.MicroBench(), opts.scale())
+	if opts.Scale > 0 && opts.Scale < 1 {
+		// Keep the memory shape while shortening the run: scale the
+		// working set along with the work.
+		w.LiveSet = units.Bytes(float64(w.LiveSet) * opts.scale())
+	}
+	tick := 4 * time.Millisecond
+	sample := 10 * time.Second
+	timeout := 12 * time.Hour
+
+	var tables []*texttable.Table
+	var notes []string
+
+	// (a) and (b): single container.
+	for _, elastic := range []bool{false, true} {
+		h := paperHost(tick)
+		cfg := jvm.Config{}
+		if elastic {
+			cfg.Policy = jvm.Adaptive
+			cfg.ElasticHeap = true
+		} else {
+			// JDK 10 with awareness of the hard memory limit: reserve
+			// the detected limit, start at a quarter of it.
+			cfg.Policy = jvm.JDK10
+			cfg.Xmx = 30 * units.GiB
+		}
+		j := launchJVM(h, fig12Spec("c0"), w, cfg)
+		var s heapSampler
+		sampleHeap(h, j, sample, &s)
+		h.RunUntil(j.Done, timeout)
+
+		label := "(a) vanilla JVM, single container"
+		if elastic {
+			label = "(b) elastic JVM, single container"
+		}
+		s.used.Name, s.committed.Name, s.vmax.Name = "used_GiB", "committed_GiB", "virtualmax_GiB"
+		tables = append(tables,
+			texttable.SeriesTable(label+" — heap statistics over time", "t_sec", s.used, s.committed, s.vmax))
+		notes = append(notes, fmt.Sprintf("%s: done=%v exec=%v gcs=%d swap-out=%v",
+			label, j.State(), j.Stats.ExecTime(), j.Stats.MinorGCs+j.Stats.MajorGCs, swapOut(h, "c0")))
+	}
+
+	// (c): five elastic containers (and the vanilla comparison's fate).
+	for _, elastic := range []bool{true, false} {
+		h := paperHost(tick)
+		specs := make([]container.Spec, 5)
+		for i := range specs {
+			specs[i] = fig12Spec(fmt.Sprintf("c%d", i))
+		}
+		var jvms []*jvm.JVM
+		var s heapSampler
+		for i, ctr := range createContainers(h, specs) {
+			cfg := jvm.Config{}
+			if elastic {
+				cfg.Policy = jvm.Adaptive
+				cfg.ElasticHeap = true
+			} else {
+				cfg.Policy = jvm.JDK10
+				cfg.Xmx = 30 * units.GiB
+			}
+			j := startJVM(h, ctr, w, cfg)
+			jvms = append(jvms, j)
+			if i == 0 {
+				sampleHeap(h, j, sample, &s)
+			}
+		}
+		done := h.RunUntilDone(timeout)
+		completed, killed := 0, 0
+		var converged units.Bytes
+		for _, j := range jvms {
+			switch j.State() {
+			case jvm.StateFinished:
+				completed++
+			case jvm.StateFailed:
+				killed++
+			}
+			if c := j.Heap().Committed(); c > converged {
+				converged = c
+			}
+		}
+		if elastic {
+			s.used.Name, s.committed.Name, s.vmax.Name = "used_GiB", "committed_GiB", "virtualmax_GiB"
+			tables = append(tables,
+				texttable.SeriesTable("(c) elastic JVM, five containers — container 0 heap statistics", "t_sec", s.used, s.committed, s.vmax))
+			notes = append(notes, fmt.Sprintf("(c) elastic x5: completed %d/5 (all-done=%v); peak committed per container %v (aggregate fits 128 GiB)",
+				completed, done, converged))
+		} else {
+			notes = append(notes, fmt.Sprintf("(c') vanilla x5: completed %d/5, OOM-killed %d/5 within %v — the aggregate 5 x 30 GiB demand exceeds the 128 GiB host; thrash and swap exhaustion kill overcommitted JVMs (swap-out %v)",
+				completed, killed, timeout, swapOutTotal(h)))
+		}
+	}
+
+	return &Result{
+		ID: "fig12", Title: "Used/committed/VirtualMax heap traces (Fig. 12)",
+		Tables: tables,
+		Notes:  notes,
+	}
+}
+
+func swapOut(h *host.Host, name string) units.Bytes {
+	cg := h.Cgroups.Lookup(name)
+	if cg == nil {
+		return 0
+	}
+	out, _ := cg.Mem.SwapTraffic()
+	return out
+}
+
+func swapOutTotal(h *host.Host) units.Bytes { return h.Mem.Swap().TrafficOut() }

@@ -1,0 +1,194 @@
+// Package fsd exposes a simulated host's virtual sysfs over HTTP — the
+// deployment shape of the userspace-filesystem prior art (LXCFS mounts a
+// FUSE tree into each container; arvfsd serves the same pseudo-files per
+// container over a local socket). It is the demonstrator for how the
+// per-container resource views would be consumed by unmodified tooling.
+//
+// Routes:
+//
+//	GET /containers                      JSON index of containers and
+//	                                     their effective resources
+//	GET /containers/{name}/{path...}     a pseudo-file through the
+//	                                     container's virtual view, e.g.
+//	                                     /containers/web/proc/meminfo
+//	GET /host/{path...}                  the same through the host view
+//	GET /cgroups/{name}/{file}           the cgroup control files
+//	                                     (cpu.shares, memory.stat, ...)
+//	GET /healthz                         liveness
+//
+// A Pump advances the simulation in near real time while the server
+// runs, so repeated reads observe the adapting views.
+package fsd
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"arv/internal/host"
+	"arv/internal/sysfs"
+)
+
+// Server serves one host's views. It is safe for concurrent use: every
+// request takes the same lock the Pump holds while stepping.
+type Server struct {
+	mu sync.Mutex
+	h  *host.Host
+}
+
+// NewServer wraps a simulated host.
+func NewServer(h *host.Host) *Server { return &Server{h: h} }
+
+// Lock exposes the simulation lock for external steppers (the Pump and
+// tests driving time manually).
+func (s *Server) Lock()   { s.mu.Lock() }
+func (s *Server) Unlock() { s.mu.Unlock() }
+
+// Handler returns the HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /containers", s.handleIndex)
+	mux.HandleFunc("GET /containers/{name}/", s.handleContainerFile)
+	mux.HandleFunc("GET /host/", s.handleHostFile)
+	mux.HandleFunc("GET /cgroups/{name}/{file}", s.handleCgroupFile)
+	return mux
+}
+
+// containerInfo is the JSON shape of one index entry.
+type containerInfo struct {
+	Name            string `json:"name"`
+	State           string `json:"state"`
+	EffectiveCPU    int    `json:"effective_cpu"`
+	CPULower        int    `json:"cpu_lower"`
+	CPUUpper        int    `json:"cpu_upper"`
+	EffectiveMemory int64  `json:"effective_memory_bytes"`
+	ResidentMemory  int64  `json:"resident_bytes"`
+	SwappedMemory   int64  `json:"swapped_bytes"`
+	Pod             string `json:"pod,omitempty"`
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	var out []containerInfo
+	for _, c := range s.h.Runtime.Containers() {
+		lower, upper := c.NS.CPUBounds()
+		info := containerInfo{
+			Name:            c.Name,
+			State:           c.State().String(),
+			EffectiveCPU:    c.NS.EffectiveCPU(),
+			CPULower:        lower,
+			CPUUpper:        upper,
+			EffectiveMemory: int64(c.NS.EffectiveMemory()),
+			ResidentMemory:  int64(c.Cgroup.Mem.Resident()),
+			SwappedMemory:   int64(c.Cgroup.Mem.Swapped()),
+		}
+		if p := c.Cgroup.Parent; p != nil {
+			info.Pod = p.Name
+		}
+		out = append(out, info)
+	}
+	s.mu.Unlock()
+
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(out); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Server) handleContainerFile(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	path := strings.TrimPrefix(r.URL.Path, "/containers/"+name)
+
+	s.mu.Lock()
+	var view sysfs.View
+	for _, c := range s.h.Runtime.Containers() {
+		if c.Name == name {
+			view = c.View()
+			break
+		}
+	}
+	s.mu.Unlock()
+	if view == nil {
+		http.Error(w, "no such container", http.StatusNotFound)
+		return
+	}
+	s.serveFile(w, view, path)
+}
+
+func (s *Server) handleHostFile(w http.ResponseWriter, r *http.Request) {
+	path := strings.TrimPrefix(r.URL.Path, "/host")
+	s.serveFile(w, s.h.Resolver.Host(), path)
+}
+
+func (s *Server) serveFile(w http.ResponseWriter, view sysfs.View, path string) {
+	path = strings.TrimSuffix(path, "/")
+	if path == "" {
+		http.Error(w, "missing pseudo-file path", http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	content, err := view.ReadFile(path)
+	s.mu.Unlock()
+	if err != nil {
+		if _, ok := err.(sysfs.ErrNoEnt); ok {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, content)
+}
+
+func (s *Server) handleCgroupFile(w http.ResponseWriter, r *http.Request) {
+	name, file := r.PathValue("name"), r.PathValue("file")
+	s.mu.Lock()
+	cg := s.h.Cgroups.Lookup(name)
+	var content string
+	var err error
+	if cg != nil {
+		content, err = sysfs.ReadCgroupFile(cg, file)
+	}
+	s.mu.Unlock()
+	if cg == nil {
+		http.Error(w, "no such cgroup", http.StatusNotFound)
+		return
+	}
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, content)
+}
+
+// Pump advances the simulation in near real time: every wall interval it
+// steps the host by the same amount of virtual time, under the server's
+// lock. Stop the pump by closing the returned channel's donor context —
+// here simply by calling the returned stop function.
+func (s *Server) Pump(interval time.Duration) (stop func()) {
+	done := make(chan struct{})
+	go func() {
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-ticker.C:
+				s.mu.Lock()
+				s.h.Run(interval)
+				s.mu.Unlock()
+			}
+		}
+	}()
+	var once sync.Once
+	return func() { once.Do(func() { close(done) }) }
+}

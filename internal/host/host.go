@@ -1,0 +1,154 @@
+// Package host assembles the simulated machine: virtual clock, CFS
+// scheduler, memory controller, cgroup hierarchy, ns_monitor, virtual
+// sysfs resolver, and the container runtime. It drives the per-tick loop
+// that everything else hangs off.
+package host
+
+import (
+	"time"
+
+	"arv/internal/cfs"
+	"arv/internal/cgroups"
+	"arv/internal/container"
+	"arv/internal/memctl"
+	"arv/internal/sim"
+	"arv/internal/sysfs"
+	"arv/internal/sysns"
+	"arv/internal/units"
+)
+
+// Program is a simulated application (a JVM, an OpenMP process, a
+// sysbench run, ...). The host polls every registered program once per
+// tick, after the scheduler has advanced work, so the program can react
+// to state changes: trigger a GC, open the next parallel region, exit.
+type Program interface {
+	// Poll advances the program's control logic at virtual time now.
+	Poll(now sim.Time)
+	// Done reports whether the program has finished (or died).
+	Done() bool
+}
+
+// Config sizes a Host. Zero fields select the defaults noted inline.
+type Config struct {
+	CPUs   int           // required
+	Memory units.Bytes   // required
+	Tick   time.Duration // simulation step; default 1ms
+
+	// SwapCapacity and SwapBandwidth configure the swap device
+	// (defaults in memctl).
+	SwapCapacity  units.Bytes
+	SwapBandwidth units.Bytes
+
+	// NSOptions tunes the sys_namespace algorithms (zero = as
+	// published).
+	NSOptions sysns.Options
+
+	// Seed seeds the host's deterministic RNG.
+	Seed uint64
+}
+
+// Host is the simulated machine.
+type Host struct {
+	Clock    *sim.Clock
+	Sched    *cfs.Scheduler
+	Mem      *memctl.Controller
+	Cgroups  *cgroups.Hierarchy
+	Monitor  *sysns.Monitor
+	Resolver *sysfs.Resolver
+	Runtime  *container.Runtime
+	RNG      *sim.RNG
+
+	tick     time.Duration
+	programs []Program
+}
+
+// New builds a host from cfg and starts the ns_monitor update timer.
+func New(cfg Config) *Host {
+	tick := cfg.Tick
+	if tick <= 0 {
+		tick = time.Millisecond
+	}
+	clock := sim.NewClock(tick)
+	sched := cfs.NewScheduler(cfg.CPUs)
+	mem := memctl.New(memctl.Config{
+		Total:         cfg.Memory,
+		SwapCapacity:  cfg.SwapCapacity,
+		SwapBandwidth: cfg.SwapBandwidth,
+	})
+	hier := cgroups.NewHierarchy(sched, mem)
+	mon := sysns.NewMonitor(hier, clock, cfg.NSOptions)
+	resolver := sysfs.NewResolver(&sysfs.HostView{Sched: sched, Mem: mem})
+	rt := container.NewRuntime(hier, mon, resolver)
+
+	h := &Host{
+		Clock:    clock,
+		Sched:    sched,
+		Mem:      mem,
+		Cgroups:  hier,
+		Monitor:  mon,
+		Resolver: resolver,
+		Runtime:  rt,
+		RNG:      sim.NewRNG(cfg.Seed),
+		tick:     tick,
+	}
+	mon.Start()
+	return h
+}
+
+// Tick returns the host's simulation step size.
+func (h *Host) Tick() time.Duration { return h.tick }
+
+// Now returns the current virtual time.
+func (h *Host) Now() sim.Time { return h.Clock.Now() }
+
+// AddProgram registers a program for per-tick polling.
+func (h *Host) AddProgram(p Program) { h.programs = append(h.programs, p) }
+
+// Step advances the simulation by one tick: the scheduler distributes
+// CPU and advances task work; the clock moves forward and fires timers
+// (sys_namespace updates among them); finally every live program's
+// control logic runs.
+func (h *Host) Step() sim.Time {
+	h.Sched.Tick(h.Clock.Now()+h.tick, h.tick)
+	now := h.Clock.Step()
+	for _, p := range h.programs {
+		if !p.Done() {
+			p.Poll(now)
+		}
+	}
+	return now
+}
+
+// Run advances the simulation by d.
+func (h *Host) Run(d time.Duration) {
+	deadline := h.Clock.Now() + d
+	for h.Clock.Now() < deadline {
+		h.Step()
+	}
+}
+
+// RunUntil steps until cond returns true or the timeout elapses; it
+// reports whether cond was met.
+func (h *Host) RunUntil(cond func() bool, timeout time.Duration) bool {
+	deadline := h.Clock.Now() + timeout
+	for h.Clock.Now() < deadline {
+		if cond() {
+			return true
+		}
+		h.Step()
+	}
+	return cond()
+}
+
+// RunUntilDone steps until every registered program reports Done, or the
+// timeout elapses; it reports whether all completed.
+func (h *Host) RunUntilDone(timeout time.Duration) bool {
+	return h.RunUntil(func() bool {
+		for _, p := range h.programs {
+			if !p.Done() {
+				return false
+			}
+		}
+		return true
+	}, timeout)
+}

@@ -1,0 +1,111 @@
+package host
+
+import (
+	"testing"
+	"time"
+
+	"arv/internal/container"
+	"arv/internal/sim"
+	"arv/internal/units"
+)
+
+func newHost() *Host {
+	return New(Config{CPUs: 4, Memory: 8 * units.GiB, Seed: 7})
+}
+
+func TestHostWiring(t *testing.T) {
+	h := newHost()
+	if h.Sched.NCPU() != 4 || h.Mem.Total() != 8*units.GiB {
+		t.Fatal("config not applied")
+	}
+	if h.Tick() != time.Millisecond {
+		t.Fatalf("default tick = %v", h.Tick())
+	}
+	if h.Resolver.Host().OnlineCPUs() != 4 {
+		t.Fatal("host view not wired")
+	}
+}
+
+func TestRunAdvancesTime(t *testing.T) {
+	h := newHost()
+	h.Run(100 * time.Millisecond)
+	if h.Now() != 100*time.Millisecond {
+		t.Fatalf("now = %v", h.Now())
+	}
+}
+
+func TestContainersGetLiveNamespaces(t *testing.T) {
+	h := newHost()
+	ctr := h.Runtime.Create(container.Spec{Name: "a"})
+	ctr.Exec("app")
+	task := h.Sched.NewTask(ctr.Cgroup.CPU, "t")
+	h.Sched.SetRunnable(task, true)
+	h.Run(time.Second)
+	if ctr.NS.Updates() == 0 {
+		t.Fatal("monitor never updated the container's namespace")
+	}
+	if ctr.NS.EffectiveCPU() == 0 {
+		t.Fatal("E_CPU uninitialized")
+	}
+}
+
+type fakeProgram struct {
+	polls  int
+	done   bool
+	stopAt int
+}
+
+func (p *fakeProgram) Poll(now sim.Time) {
+	p.polls++
+	if p.stopAt > 0 && p.polls >= p.stopAt {
+		p.done = true
+	}
+}
+func (p *fakeProgram) Done() bool { return p.done }
+
+func TestProgramsPolledUntilDone(t *testing.T) {
+	h := newHost()
+	p := &fakeProgram{stopAt: 5}
+	h.AddProgram(p)
+	if !h.RunUntilDone(time.Second) {
+		t.Fatal("RunUntilDone reported failure")
+	}
+	if p.polls != 5 {
+		t.Fatalf("polls = %d, want 5 (not polled after done)", p.polls)
+	}
+	before := p.polls
+	h.Run(10 * time.Millisecond)
+	if p.polls != before {
+		t.Fatal("done program still polled")
+	}
+}
+
+func TestRunUntilCondition(t *testing.T) {
+	h := newHost()
+	hit := h.RunUntil(func() bool { return h.Now() >= 50*time.Millisecond }, time.Second)
+	if !hit {
+		t.Fatal("condition not reached")
+	}
+	if h.Now() < 50*time.Millisecond || h.Now() > 60*time.Millisecond {
+		t.Fatalf("stopped at %v", h.Now())
+	}
+	if h.RunUntil(func() bool { return false }, 10*time.Millisecond) {
+		t.Fatal("impossible condition reported met")
+	}
+}
+
+func TestRunUntilDoneTimesOut(t *testing.T) {
+	h := newHost()
+	h.AddProgram(&fakeProgram{})
+	if h.RunUntilDone(10 * time.Millisecond) {
+		t.Fatal("should have timed out")
+	}
+}
+
+func TestCustomTick(t *testing.T) {
+	h := New(Config{CPUs: 2, Memory: units.GiB, Tick: 5 * time.Millisecond})
+	h.Step()
+	if h.Now() != 5*time.Millisecond {
+		t.Fatalf("now = %v", h.Now())
+	}
+}

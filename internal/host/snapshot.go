@@ -1,0 +1,101 @@
+package host
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"arv/internal/units"
+)
+
+// Snapshot is a point-in-time view of the host and every container's
+// effective resources — the data arvtop, arvctl's `top`, and arvfsd's
+// index all render.
+type Snapshot struct {
+	Now        time.Duration
+	LoadAvg    float64
+	SlackCPUs  float64
+	FreeMemory units.Bytes
+	SwapUsed   units.Bytes
+	Containers []ContainerSnapshot
+}
+
+// ContainerSnapshot is one container's row.
+type ContainerSnapshot struct {
+	Name            string
+	Pod             string // enclosing pod, if any
+	State           string
+	EffectiveCPU    int
+	CPULower        int
+	CPUUpper        int
+	EffectiveMemory units.Bytes
+	Resident        units.Bytes
+	Swapped         units.Bytes
+	RunnableTasks   int
+	CPURate         float64
+}
+
+// Snapshot captures the current state, with containers sorted by name.
+func (h *Host) Snapshot() Snapshot {
+	s := Snapshot{
+		Now:        time.Duration(h.Now()),
+		LoadAvg:    h.Sched.LoadAvg(),
+		SlackCPUs:  h.Sched.SlackLast(),
+		FreeMemory: h.Mem.Free(),
+		SwapUsed:   h.Mem.Swap().Used(),
+	}
+	for _, c := range h.Runtime.Containers() {
+		lower, upper := c.NS.CPUBounds()
+		cs := ContainerSnapshot{
+			Name:            c.Name,
+			State:           c.State().String(),
+			EffectiveCPU:    c.NS.EffectiveCPU(),
+			CPULower:        lower,
+			CPUUpper:        upper,
+			EffectiveMemory: c.NS.EffectiveMemory(),
+			Resident:        c.Cgroup.Mem.Resident(),
+			Swapped:         c.Cgroup.Mem.Swapped(),
+			RunnableTasks:   c.Cgroup.CPU.RunnableTasks(),
+			CPURate:         c.Cgroup.CPU.LastRate(),
+		}
+		if p := c.Cgroup.Parent; p != nil {
+			cs.Pod = p.Name
+		}
+		s.Containers = append(s.Containers, cs)
+	}
+	sort.Slice(s.Containers, func(i, j int) bool {
+		return s.Containers[i].Name < s.Containers[j].Name
+	})
+	return s
+}
+
+// WriteTo renders the snapshot as the top-style table shared by the
+// CLIs. It implements io.WriterTo.
+func (s Snapshot) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	c, err := fmt.Fprintf(w, "t=%v  loadavg=%.1f  slack=%.1f CPUs  free=%v  swap-used=%v\n",
+		s.Now, s.LoadAvg, s.SlackCPUs, s.FreeMemory, s.SwapUsed)
+	n += int64(c)
+	if err != nil {
+		return n, err
+	}
+	c, err = fmt.Fprintf(w, "%-12s %-8s %6s %8s %11s %11s %11s %6s %6s\n",
+		"container", "pod", "E_CPU", "bounds", "E_MEM", "resident", "swapped", "tasks", "rate")
+	n += int64(c)
+	if err != nil {
+		return n, err
+	}
+	for _, cs := range s.Containers {
+		c, err = fmt.Fprintf(w, "%-12s %-8s %6d %8s %11v %11v %11v %6d %6.2f\n",
+			cs.Name, cs.Pod, cs.EffectiveCPU,
+			fmt.Sprintf("[%d,%d]", cs.CPULower, cs.CPUUpper),
+			cs.EffectiveMemory, cs.Resident, cs.Swapped,
+			cs.RunnableTasks, cs.CPURate)
+		n += int64(c)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}

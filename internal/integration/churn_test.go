@@ -1,0 +1,203 @@
+package integration
+
+import (
+	"testing"
+	"time"
+
+	"arv/internal/container"
+	"arv/internal/host"
+	"arv/internal/jvm"
+	"arv/internal/sysns"
+	"arv/internal/units"
+	"arv/internal/workloads"
+)
+
+// TestRuntimeQuotaChangePropagates: tightening a container's quota at
+// runtime must flow through ns_monitor into its effective CPU without a
+// restart (the cgroups-change path of §3.2).
+func TestRuntimeQuotaChangePropagates(t *testing.T) {
+	h := newHost(t, 20, 64*units.GiB)
+	ctr := h.Runtime.Create(container.Spec{Name: "a"})
+	ctr.Exec("app")
+	workloads.NewSysbench(h, ctr, 20, 1e9).Start()
+	h.Run(3 * time.Second)
+	if got := ctr.NS.EffectiveCPU(); got < 18 {
+		t.Fatalf("pre-change E_CPU = %d", got)
+	}
+
+	ctr.Cgroup.SetQuotaCPUs(4) // admin tightens the limit live
+	if _, upper := ctr.NS.CPUBounds(); upper != 4 {
+		t.Fatalf("upper bound = %d immediately after change, want 4", upper)
+	}
+	if got := ctr.NS.EffectiveCPU(); got > 4 {
+		t.Fatalf("E_CPU = %d not clamped into the new bounds", got)
+	}
+	h.Run(time.Second)
+	if got := float64(ctr.Cgroup.CPU.LastRate()); got > 4.01 {
+		t.Fatalf("scheduler still granting %v CPUs", got)
+	}
+
+	ctr.Cgroup.SetQuota(-1, 100_000) // and lifts it again
+	h.Run(3 * time.Second)
+	if got := ctr.NS.EffectiveCPU(); got < 18 {
+		t.Fatalf("E_CPU = %d did not recover after the limit was lifted", got)
+	}
+}
+
+// TestRuntimeMemLimitChangeDrivesElasticHeap: lowering the soft limit at
+// runtime must flow through ns_monitor into effective memory and shrink
+// a running elastic JVM's heap (§4.2 scenarios 2/3). The host pins
+// effective memory at the soft limit (DisableGrowth) so the shrink path
+// is exercised deterministically, without racing the work-conserving
+// re-expansion that free host memory would trigger.
+func TestRuntimeMemLimitChangeDrivesElasticHeap(t *testing.T) {
+	h := host.New(host.Config{
+		CPUs: 8, Memory: 16 * units.GiB,
+		NSOptions: sysns.Options{DisableGrowth: true},
+		Seed:      1,
+	})
+	ctr := h.Runtime.Create(container.Spec{Name: "a", MemHard: 2 * units.GiB, MemSoft: 1200 * units.MiB})
+	ctr.Exec("java")
+	w := jvm.Workload{
+		Name: "steady", TotalWork: 1000, Threads: 2,
+		AllocPerCPUSec: 300 * units.MiB, LiveSet: 400 * units.MiB,
+		SurviveFrac: 0.2, MinHeap: 512 * units.MiB,
+	}
+	j := jvm.New(h, ctr, w, jvm.Config{
+		Policy: jvm.Adaptive, ElasticHeap: true,
+		ElasticPeriod: 100 * time.Millisecond, Xms: 600 * units.MiB,
+	})
+	j.Start()
+	h.Run(2 * time.Second)
+	if got := ctr.NS.EffectiveMemory(); got != 1200*units.MiB {
+		t.Fatalf("E_MEM = %v, want the soft limit", got)
+	}
+
+	ctr.Cgroup.SetMemLimits(2*units.GiB, 700*units.MiB) // admin shrinks live
+	h.Run(3 * time.Second)
+	if got := ctr.NS.EffectiveMemory(); got != 700*units.MiB {
+		t.Fatalf("E_MEM = %v after change, want 700MiB", got)
+	}
+	if got := j.Heap().Committed(); got > 700*units.MiB {
+		t.Fatalf("committed = %v, elastic heap did not shrink to the new ceiling", got)
+	}
+	if j.Failed() {
+		t.Fatalf("JVM failed during shrink: %v", j.FailReason())
+	}
+}
+
+// TestContainerDestructionMidRun: destroying a co-runner mid-flight must
+// free its resources, widen the survivors' bounds, and leave the
+// scheduler and memory controller consistent.
+func TestContainerDestructionMidRun(t *testing.T) {
+	h := newHost(t, 8, 16*units.GiB)
+	specs := []container.Spec{{Name: "a"}, {Name: "b"}, {Name: "c"}, {Name: "d"}}
+	ctrs := make([]*container.Container, len(specs))
+	for i, s := range specs {
+		ctrs[i] = h.Runtime.Create(s)
+		ctrs[i].Exec("app")
+		workloads.NewSysbench(h, ctrs[i], 4, 1e9).Start()
+	}
+	h.Mem.Charge(ctrs[1].Cgroup.Mem, units.GiB, h.Now())
+	h.Run(2 * time.Second)
+	if lower, _ := ctrs[0].NS.CPUBounds(); lower != 2 {
+		t.Fatalf("lower bound with 4 containers = %d, want 2", lower)
+	}
+	freeBefore := h.Mem.Free()
+
+	h.Runtime.Destroy(ctrs[1])
+	if h.Mem.Free() != freeBefore+units.GiB {
+		t.Fatalf("destroyed container's memory not freed")
+	}
+	if lower, _ := ctrs[0].NS.CPUBounds(); lower != 3 {
+		t.Fatalf("lower bound after churn = %d, want ceil(8/3) = 3", lower)
+	}
+	// The survivors should absorb the freed CPU; the host must keep
+	// running without touching the dead container's tasks.
+	h.Run(2 * time.Second)
+	if rate := ctrs[0].Cgroup.CPU.LastRate(); rate < 2.5 {
+		t.Fatalf("survivor rate = %v, want ~8/3", rate)
+	}
+}
+
+// TestOOMKillMidGC: a JVM OOM-killed by the kernel while collecting must
+// terminate cleanly — tasks removed, memory freed, no panic on
+// subsequent ticks.
+func TestOOMKillMidGC(t *testing.T) {
+	h := host.New(host.Config{
+		CPUs: 4, Memory: 2 * units.GiB,
+		SwapCapacity: 64 * units.MiB, Seed: 1,
+	})
+	ctr := h.Runtime.Create(container.Spec{Name: "a", MemHard: 256 * units.MiB})
+	ctr.Exec("java")
+	w := jvm.Workload{
+		Name: "hungry", TotalWork: 100, Threads: 2,
+		AllocPerCPUSec: 500 * units.MiB, LiveSet: units.GiB,
+		LiveFracOfAllocated: 0.9, SurviveFrac: 0.9,
+		MinHeap: 64 * units.MiB,
+	}
+	j := jvm.New(h, ctr, w, jvm.Config{Policy: jvm.Vanilla8, Xmx: units.GiB})
+	j.Start()
+	h.RunUntil(j.Done, 10*time.Minute)
+	if !j.Failed() || j.FailReason() != jvm.FailOOMKilled {
+		t.Fatalf("state=%v reason=%v, want kernel OOM kill", j.State(), j.FailReason())
+	}
+	if got := ctr.Cgroup.Mem.Resident(); got != 0 {
+		t.Fatalf("victim still holds %v", got)
+	}
+	h.Run(time.Second) // must not panic with the dead JVM registered
+}
+
+// TestDeterminism: identical seeds and scenarios produce bit-identical
+// results.
+func TestDeterminism(t *testing.T) {
+	run := func() (time.Duration, time.Duration, int) {
+		h := newHost(t, 8, 16*units.GiB)
+		specs := []container.Spec{{Name: "a", Gamma: 0.5}, {Name: "b"}}
+		a := h.Runtime.Create(specs[0])
+		a.Exec("java")
+		b := h.Runtime.Create(specs[1])
+		b.Exec("hog")
+		workloads.NewSysbench(h, b, 4, 20).Start()
+		w := workloads.DaCapo("sunflow")
+		w.TotalWork = 8
+		j := jvm.New(h, a, w, jvm.Config{Policy: jvm.Adaptive, Xmx: 3 * w.MinHeap})
+		j.Start()
+		h.RunUntil(j.Done, time.Hour)
+		return j.Stats.ExecTime(), j.Stats.GCTime, j.Stats.MinorGCs
+	}
+	e1, g1, n1 := run()
+	e2, g2, n2 := run()
+	if e1 != e2 || g1 != g2 || n1 != n2 {
+		t.Fatalf("non-deterministic: (%v,%v,%d) vs (%v,%v,%d)", e1, g1, n1, e2, g2, n2)
+	}
+}
+
+// TestSharesChangeRebalances: raising a container's cpu.shares at
+// runtime shifts both the scheduler allocation and the share-derived
+// bound.
+func TestSharesChangeRebalances(t *testing.T) {
+	h := newHost(t, 8, 16*units.GiB)
+	a := h.Runtime.Create(container.Spec{Name: "a"})
+	a.Exec("app")
+	b := h.Runtime.Create(container.Spec{Name: "b"})
+	b.Exec("app")
+	workloads.NewSysbench(h, a, 8, 1e9).Start()
+	workloads.NewSysbench(h, b, 8, 1e9).Start()
+	h.Run(time.Second)
+	if rate := a.Cgroup.CPU.LastRate(); rate < 3.9 || rate > 4.1 {
+		t.Fatalf("equal shares: rate = %v, want 4", rate)
+	}
+
+	a.Cgroup.SetShares(3 * 1024)
+	h.Run(2 * time.Second)
+	if rate := a.Cgroup.CPU.LastRate(); rate < 5.9 || rate > 6.1 {
+		t.Fatalf("3:1 shares: rate = %v, want 6", rate)
+	}
+	if lower, _ := a.NS.CPUBounds(); lower != 6 {
+		t.Fatalf("share-derived lower bound = %d, want 6", lower)
+	}
+	if lower, _ := b.NS.CPUBounds(); lower != 2 {
+		t.Fatalf("loser's lower bound = %d, want 2", lower)
+	}
+}

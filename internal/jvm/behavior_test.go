@@ -1,0 +1,142 @@
+package jvm
+
+import (
+	"testing"
+	"time"
+
+	"arv/internal/container"
+	"arv/internal/units"
+)
+
+func TestTransparentPolicySizesFromEffectiveView(t *testing.T) {
+	h := newTestHost() // 8 CPUs
+	ctr := h.Runtime.Create(container.Spec{
+		Name: "a", CPUQuotaUS: 300_000, CPUPeriodUS: 100_000,
+		MemHard: 2 * units.GiB, MemSoft: units.GiB,
+	})
+	ctr.Exec("java")
+	j := New(h, ctr, testWorkload(), Config{Policy: Transparent})
+	j.Start()
+	// The view reports E_CPU=3 (quota) at launch -> pool of 3.
+	if j.GCThreadPool() != 3 {
+		t.Fatalf("transparent pool = %d, want 3 from the virtual sysfs", j.GCThreadPool())
+	}
+	// Heap ergonomics: a quarter of effective memory (the 1 GiB soft
+	// limit), not of host RAM.
+	if got := j.Heap().Reserved; got != 256*units.MiB {
+		t.Fatalf("transparent max heap = %v, want E_MEM/4", got)
+	}
+	// No dynamic re-adjustment: every GC wakes the whole (static) pool.
+	h.RunUntilDone(10 * time.Minute)
+	for _, rec := range j.Stats.GCs {
+		if rec.Threads != 3 {
+			t.Fatalf("transparent GC used %d threads, want the launch-time 3", rec.Threads)
+		}
+	}
+}
+
+func TestMajorGCChainsFromMinor(t *testing.T) {
+	h := newTestHost()
+	w := testWorkload()
+	w.SurviveFrac = 0.5 // heavy promotion forces old-gen pressure
+	w.LiveSet = 30 * units.MiB
+	w.SurvivorCap = 16 * units.MiB
+	j := launch(h, container.Spec{Name: "a"}, w, Config{Policy: Vanilla8, Xmx: 160 * units.MiB})
+	h.RunUntilDone(10 * time.Minute)
+	if j.Failed() {
+		t.Fatalf("failed: %v", j.FailReason())
+	}
+	if j.Stats.MajorGCs == 0 {
+		t.Fatal("promotion pressure should have triggered major GCs")
+	}
+	// Majors trim the old generation back to the live set.
+	if j.Heap().LiveOld > w.LiveSet {
+		t.Fatalf("post-major live = %v, want <= %v", j.Heap().LiveOld, w.LiveSet)
+	}
+}
+
+func TestSurvivorCapBoundsPromotion(t *testing.T) {
+	h := newTestHost()
+	w := testWorkload()
+	w.SurviveFrac = 0.9
+	w.SurvivorCap = 4 * units.MiB
+	j := launch(h, container.Spec{Name: "a"}, w, Config{Policy: Vanilla8, Xmx: 240 * units.MiB})
+	// One minor GC promotes at most the cap.
+	h.RunUntil(func() bool { return j.Stats.MinorGCs >= 1 }, time.Minute)
+	if got := j.Heap().OldUsed; got > 4*units.MiB {
+		t.Fatalf("first promotion = %v, want <= cap 4MiB", got)
+	}
+}
+
+func TestLeakWorkloadUncapped(t *testing.T) {
+	// LiveFracOfAllocated profiles ignore the survivor cap: everything
+	// that survives is genuinely live.
+	h := newTestHost()
+	w := Workload{
+		Name: "leak", TotalWork: 4, Threads: 1,
+		AllocPerCPUSec: 200 * units.MiB, LiveSet: 4 * units.GiB,
+		LiveFracOfAllocated: 0.5, SurviveFrac: 0.5,
+		SurvivorCap: units.MiB, // must be ignored
+		MinHeap:     64 * units.MiB,
+	}
+	j := launch(h, container.Spec{Name: "a"}, w, Config{Policy: Vanilla8, Xmx: 4 * units.GiB})
+	h.RunUntilDone(10 * time.Minute)
+	want := units.Bytes(0.5 * float64(j.Stats.Allocated))
+	// Half of the final eden's contents are live too but not yet
+	// promoted when the program exits.
+	got := j.Heap().OldUsed + j.Heap().EdenUsed/2
+	if got < want*9/10 || got > want*11/10 {
+		t.Fatalf("leaked live = %v, want about %v", got, want)
+	}
+}
+
+func TestElasticHeapGrowsWithEffectiveMemory(t *testing.T) {
+	h := newTestHost()
+	ctr := h.Runtime.Create(container.Spec{
+		Name: "a", MemHard: 4 * units.GiB, MemSoft: 256 * units.MiB,
+	})
+	ctr.Exec("java")
+	w := testWorkload()
+	w.TotalWork = 200
+	w.AllocPerCPUSec = 400 * units.MiB
+	j := New(h, ctr, w, Config{
+		Policy: Adaptive, ElasticHeap: true, ElasticPeriod: 100 * time.Millisecond,
+	})
+	j.Start()
+	startCeiling := j.Heap().VirtualMax
+	h.Run(5 * time.Second)
+	if got := j.Heap().VirtualMax; got <= startCeiling {
+		t.Fatalf("VirtualMax %v did not grow from %v with free host memory", got, startCeiling)
+	}
+	if j.Heap().VirtualMax != ctr.NS.EffectiveMemory() {
+		t.Fatalf("VirtualMax %v != E_MEM %v", j.Heap().VirtualMax, ctr.NS.EffectiveMemory())
+	}
+}
+
+func TestGCThreadsNeverExceedPool(t *testing.T) {
+	h := newTestHost()
+	for _, policy := range []PolicyKind{Vanilla8, Dynamic8, JDK9, JDK10, Adaptive, Transparent} {
+		ctr := h.Runtime.Create(container.Spec{Name: "p" + policy.String()})
+		ctr.Exec("java")
+		w := testWorkload()
+		w.TotalWork = 1
+		j := New(h, ctr, w, Config{Policy: policy, Xmx: 240 * units.MiB})
+		j.Start()
+	}
+	if !h.RunUntilDone(30 * time.Minute) {
+		t.Fatal("policy sweep did not finish")
+	}
+}
+
+func TestZeroWorkFinishesImmediately(t *testing.T) {
+	h := newTestHost()
+	w := testWorkload()
+	w.TotalWork = 0.001
+	j := launch(h, container.Spec{Name: "a"}, w, Config{Policy: Vanilla8, Xmx: 240 * units.MiB})
+	if !h.RunUntilDone(time.Minute) {
+		t.Fatal("trivial workload did not finish")
+	}
+	if j.Failed() {
+		t.Fatal("trivial workload failed")
+	}
+}

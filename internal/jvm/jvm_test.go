@@ -1,0 +1,263 @@
+package jvm
+
+import (
+	"testing"
+	"time"
+
+	"arv/internal/container"
+	"arv/internal/host"
+	"arv/internal/sysns"
+	"arv/internal/units"
+)
+
+// testWorkload is a small, fast benchmark profile for behavioural tests.
+func testWorkload() Workload {
+	return Workload{
+		Name:           "test",
+		TotalWork:      4,
+		Threads:        4,
+		AllocPerCPUSec: 200 * units.MiB,
+		LiveSet:        50 * units.MiB,
+		MinHeap:        80 * units.MiB,
+		SurviveFrac:    0.1,
+		GCSerialFrac:   0.2,
+	}
+}
+
+func newTestHost() *host.Host {
+	return host.New(host.Config{CPUs: 8, Memory: 16 * units.GiB, Seed: 1})
+}
+
+func launch(h *host.Host, spec container.Spec, w Workload, cfg Config) *JVM {
+	ctr := h.Runtime.Create(spec)
+	ctr.Exec("java")
+	j := New(h, ctr, w, cfg)
+	j.Start()
+	return j
+}
+
+func TestJVMLifecycle(t *testing.T) {
+	h := newTestHost()
+	j := launch(h, container.Spec{Name: "a"}, testWorkload(), Config{Policy: Vanilla8, Xmx: 240 * units.MiB})
+	if j.State() != StateMutating {
+		t.Fatalf("state after start = %v", j.State())
+	}
+	if !h.RunUntilDone(10 * time.Minute) {
+		t.Fatalf("did not finish; progress %v", j.Progress())
+	}
+	if j.State() != StateFinished || j.Failed() {
+		t.Fatalf("state = %v", j.State())
+	}
+	if j.Stats.MinorGCs == 0 {
+		t.Fatal("no GCs for an allocating workload")
+	}
+	if j.Stats.ExecTime() <= 0 || j.Stats.GCTime <= 0 {
+		t.Fatal("missing timing stats")
+	}
+	if j.Progress() != 1 {
+		t.Fatalf("progress = %v", j.Progress())
+	}
+	// Heap memory must be released on exit.
+	if r := j.ctr.Cgroup.Mem.Resident(); r != 0 {
+		t.Fatalf("leaked %v of cgroup memory", r)
+	}
+}
+
+func TestDoubleStartPanics(t *testing.T) {
+	h := newTestHost()
+	j := launch(h, container.Spec{Name: "a"}, testWorkload(), Config{Policy: Vanilla8})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on double Start")
+		}
+	}()
+	j.Start()
+}
+
+func TestGCRecordsTrace(t *testing.T) {
+	h := newTestHost()
+	j := launch(h, container.Spec{Name: "a"}, testWorkload(), Config{Policy: Vanilla8, Xmx: 240 * units.MiB})
+	h.RunUntilDone(10 * time.Minute)
+	if len(j.Stats.GCs) != j.Stats.MinorGCs+j.Stats.MajorGCs {
+		t.Fatalf("GC records %d != GC count %d", len(j.Stats.GCs), j.Stats.MinorGCs+j.Stats.MajorGCs)
+	}
+	for i, rec := range j.Stats.GCs {
+		if rec.Threads < 1 {
+			t.Fatalf("GC %d with %d threads", i, rec.Threads)
+		}
+		if rec.Pause <= 0 {
+			t.Fatalf("GC %d with non-positive pause", i)
+		}
+		if i > 0 && rec.At < j.Stats.GCs[i-1].At {
+			t.Fatalf("GC records out of order")
+		}
+	}
+}
+
+func TestVanillaWakesWholePool(t *testing.T) {
+	h := newTestHost()
+	j := launch(h, container.Spec{Name: "a"}, testWorkload(), Config{Policy: Vanilla8, Xmx: 240 * units.MiB})
+	h.RunUntilDone(10 * time.Minute)
+	if j.GCThreadPool() != 8 { // 8-core host
+		t.Fatalf("pool = %d", j.GCThreadPool())
+	}
+	for _, rec := range j.Stats.GCs {
+		if rec.Threads != 8 {
+			t.Fatalf("vanilla GC used %d threads, want full pool", rec.Threads)
+		}
+	}
+}
+
+func TestOptFixedThreads(t *testing.T) {
+	h := newTestHost()
+	j := launch(h, container.Spec{Name: "a"}, testWorkload(), Config{Policy: OptFixed, OptGCThreads: 3, Xmx: 240 * units.MiB})
+	h.RunUntilDone(10 * time.Minute)
+	for _, rec := range j.Stats.GCs {
+		if rec.Threads != 3 {
+			t.Fatalf("opt GC used %d threads, want 3", rec.Threads)
+		}
+	}
+}
+
+func TestAdaptiveFollowsEffectiveCPU(t *testing.T) {
+	h := newTestHost()
+	ctr := h.Runtime.Create(container.Spec{Name: "a"})
+	ctr.Exec("java")
+	// A contender pulls the share-based lower bound down to 4.
+	h.Runtime.Create(container.Spec{Name: "b"})
+	w := testWorkload()
+	j := New(h, ctr, w, Config{Policy: Adaptive, Xmx: 240 * units.MiB})
+	j.Start()
+	h.RunUntilDone(10 * time.Minute)
+	for _, rec := range j.Stats.GCs {
+		if rec.Threads > 8 {
+			t.Fatalf("adaptive exceeded pool: %d", rec.Threads)
+		}
+	}
+}
+
+func TestOOMErrorWhenLiveExceedsCeiling(t *testing.T) {
+	h := newTestHost()
+	w := testWorkload()
+	w.LiveSet = 400 * units.MiB // cannot fit below
+	w.TotalWork = 100
+	j := launch(h, container.Spec{Name: "a"}, w, Config{Policy: Vanilla8, Xmx: 128 * units.MiB})
+	h.RunUntilDone(10 * time.Minute)
+	if !j.Failed() || j.FailReason() != FailOOMError {
+		t.Fatalf("state=%v reason=%v, want OOMError", j.State(), j.FailReason())
+	}
+}
+
+func TestOOMKilledWhenSwapExhausted(t *testing.T) {
+	h := host.New(host.Config{CPUs: 8, Memory: 2 * units.GiB, SwapCapacity: 128 * units.MiB, Seed: 1})
+	w := testWorkload()
+	w.TotalWork = 50
+	w.NaturalMax = 0
+	// Hard limit far below the heap the JVM will commit: swap fills up.
+	j := launch(h, container.Spec{Name: "a", MemHard: 128 * units.MiB}, w,
+		Config{Policy: Vanilla8, Xmx: units.GiB, Xms: 512 * units.MiB})
+	h.RunUntilDone(20 * time.Minute)
+	if !j.Failed() || j.FailReason() != FailOOMKilled {
+		t.Fatalf("state=%v reason=%v, want OOMKilled", j.State(), j.FailReason())
+	}
+}
+
+func TestSwapStallsAccounted(t *testing.T) {
+	h := newTestHost()
+	w := testWorkload()
+	w.NaturalMax = 0
+	j := launch(h, container.Spec{Name: "a", MemHard: 96 * units.MiB}, w,
+		Config{Policy: Vanilla8, Xmx: units.GiB, Xms: 256 * units.MiB})
+	h.RunUntilDone(30 * time.Minute)
+	if j.Stats.StallTime == 0 {
+		t.Fatal("overcommitted JVM should record swap stalls")
+	}
+}
+
+func TestElasticHeapRespectsEffectiveMemory(t *testing.T) {
+	h := newTestHost()
+	w := testWorkload()
+	j := launch(h, container.Spec{Name: "a", MemHard: 256 * units.MiB}, w,
+		Config{Policy: Adaptive, ElasticHeap: true, ElasticPeriod: 50 * time.Millisecond})
+	h.RunUntilDone(10 * time.Minute)
+	if j.Failed() {
+		t.Fatalf("failed: %v", j.FailReason())
+	}
+	out, _ := j.ctr.Cgroup.Mem.SwapTraffic()
+	if out != 0 {
+		t.Fatalf("elastic JVM swapped %v", out)
+	}
+}
+
+func TestElasticHeapShrinksWhenEffectiveMemoryDrops(t *testing.T) {
+	// Pin E_MEM to the soft limit (DisableGrowth) so the shrink path is
+	// deterministic, then lower the soft limit at runtime.
+	h := host.New(host.Config{
+		CPUs: 8, Memory: 16 * units.GiB,
+		NSOptions: sysns.Options{DisableGrowth: true},
+		Seed:      1,
+	})
+	ctr := h.Runtime.Create(container.Spec{Name: "a", MemHard: units.GiB, MemSoft: 512 * units.MiB})
+	ctr.Exec("java")
+	w := testWorkload()
+	w.TotalWork = 1000 // long-running
+	j := New(h, ctr, w, Config{Policy: Adaptive, ElasticHeap: true, ElasticPeriod: 100 * time.Millisecond})
+	j.Start()
+	h.Run(2 * time.Second)
+
+	ctr.Cgroup.SetMemLimits(units.GiB, 256*units.MiB)
+	h.Run(2 * time.Second)
+	if got := j.Heap().Committed(); got > 256*units.MiB+16*units.MiB {
+		t.Fatalf("committed = %v after the soft limit dropped, want near 256MiB", got)
+	}
+}
+
+func TestLiveFracOfAllocatedGrowsLiveSet(t *testing.T) {
+	h := newTestHost()
+	w := Workload{
+		Name: "leak", TotalWork: 10, Threads: 1,
+		AllocPerCPUSec:      100 * units.MiB,
+		LiveSet:             400 * units.MiB,
+		LiveFracOfAllocated: 0.5,
+		SurviveFrac:         0.5,
+		MinHeap:             64 * units.MiB,
+	}
+	j := launch(h, container.Spec{Name: "a"}, w, Config{Policy: Vanilla8, Xmx: 4 * units.GiB})
+	h.RunUntilDone(10 * time.Minute)
+	if j.Failed() {
+		t.Fatalf("failed: %v", j.FailReason())
+	}
+	// Half the 1 GiB of allocation stays live.
+	if got := j.Heap().OldUsed; got < 400*units.MiB {
+		t.Fatalf("grown live set = %v, want >= 400MiB", got)
+	}
+}
+
+func TestStatsAllocationMatchesWork(t *testing.T) {
+	h := newTestHost()
+	w := testWorkload()
+	j := launch(h, container.Spec{Name: "a"}, w, Config{Policy: Vanilla8, Xmx: 240 * units.MiB})
+	h.RunUntilDone(10 * time.Minute)
+	want := units.Bytes(float64(w.TotalWork) * float64(w.AllocPerCPUSec))
+	got := j.Stats.Allocated
+	if got < want*95/100 || got > want*110/100 {
+		t.Fatalf("allocated %v, want about %v", got, want)
+	}
+}
+
+func TestStateAndFailReasonStrings(t *testing.T) {
+	for s, want := range map[State]string{
+		StateNew: "new", StateMutating: "mutating", StateInGC: "in-gc",
+		StateFinished: "finished", StateFailed: "failed",
+	} {
+		if s.String() != want {
+			t.Errorf("%d = %q", int(s), s.String())
+		}
+	}
+	if FailOOMError.String() != "java.lang.OutOfMemoryError" {
+		t.Error("OOM error string")
+	}
+	if FailNone.String() != "none" || FailOOMKilled.String() != "oom-killed" {
+		t.Error("fail reason strings")
+	}
+}

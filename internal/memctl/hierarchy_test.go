@@ -1,0 +1,142 @@
+package memctl
+
+import (
+	"testing"
+
+	"arv/internal/units"
+)
+
+func TestSubtreeAccounting(t *testing.T) {
+	c := newCtl(16 * units.GiB)
+	pod := c.NewGroup("pod")
+	a := c.NewChildGroup(pod, "a")
+	b := c.NewChildGroup(pod, "b")
+	if a.Parent() != pod {
+		t.Fatal("parent link broken")
+	}
+	c.Charge(a, units.GiB, 0)
+	c.Charge(b, 512*units.MiB, 0)
+	if got := pod.SubtreeResident(); got != units.GiB+512*units.MiB {
+		t.Fatalf("subtree = %v", got)
+	}
+	c.Uncharge(a, 256*units.MiB)
+	if got := pod.SubtreeResident(); got != 768*units.MiB+512*units.MiB {
+		t.Fatalf("subtree after uncharge = %v", got)
+	}
+}
+
+func TestParentHardLimitCapsSubtree(t *testing.T) {
+	c := newCtl(16 * units.GiB)
+	pod := c.NewGroup("pod")
+	pod.HardLimit = units.GiB
+	a := c.NewChildGroup(pod, "a")
+	b := c.NewChildGroup(pod, "b")
+	c.Charge(a, 700*units.MiB, 0)
+	stall, ok := c.Charge(b, 700*units.MiB, 0)
+	if !ok {
+		t.Fatal("charge should succeed via reclaim")
+	}
+	if stall == 0 {
+		t.Fatal("crossing the pod limit must swap")
+	}
+	if pod.SubtreeResident() > units.GiB {
+		t.Fatalf("subtree %v over the pod hard limit", pod.SubtreeResident())
+	}
+	// The charging child paid the reclaim.
+	if b.Swapped() == 0 {
+		t.Fatal("charging child was not reclaimed")
+	}
+}
+
+func TestParentSoftLimitGuidesKswapd(t *testing.T) {
+	c := newCtl(4 * units.GiB)
+	pod := c.NewGroup("pod")
+	pod.SoftLimit = 512 * units.MiB
+	a := c.NewChildGroup(pod, "a")
+	b := c.NewChildGroup(pod, "b")
+	c.Charge(a, 1200*units.MiB, 0)
+	c.Charge(b, 300*units.MiB, 0)
+
+	hog := c.NewGroup("hog")
+	c.Charge(hog, c.Free()-c.LowWM+10*units.MiB, 0)
+	if c.KswapdRuns() == 0 {
+		t.Fatal("kswapd did not run")
+	}
+	// The over-soft pod's largest member absorbs the reclaim.
+	if a.Swapped() == 0 {
+		t.Fatal("largest member of the over-soft pod was not reclaimed")
+	}
+	if hog.Swapped() != 0 {
+		t.Fatal("non-over-soft group was reclaimed by kswapd")
+	}
+}
+
+func TestSwappinessSteersKswapd(t *testing.T) {
+	c := newCtl(4 * units.GiB)
+	shielded := c.NewGroup("shielded")
+	shielded.SoftLimit = 256 * units.MiB
+	shielded.SwappinessSet = true // swappiness 0: never kswapd'd
+	victim := c.NewGroup("victim")
+	victim.SoftLimit = 256 * units.MiB
+	victim.Swappiness = 100
+	c.Charge(shielded, units.GiB, 0)
+	c.Charge(victim, units.GiB, 0)
+
+	hog := c.NewGroup("hog")
+	c.Charge(hog, c.Free()-c.LowWM+10*units.MiB, 0)
+	if victim.Swapped() == 0 {
+		t.Fatal("high-swappiness group was not reclaimed")
+	}
+	if shielded.Swapped() != 0 {
+		t.Fatal("swappiness-0 group was reclaimed by kswapd")
+	}
+}
+
+func TestSwappinessWeighting(t *testing.T) {
+	c := newCtl(4 * units.GiB)
+	low := c.NewGroup("low")
+	low.SoftLimit = 256 * units.MiB
+	low.Swappiness = 10
+	high := c.NewGroup("high")
+	high.SoftLimit = 512 * units.MiB
+	high.Swappiness = 100
+	// low exceeds its soft limit by more bytes, but high's weighting
+	// makes it the preferred victim: 512M*10/60 < 256M*100/60.
+	c.Charge(low, 768*units.MiB, 0)
+	c.Charge(high, 768*units.MiB, 0)
+	hog := c.NewGroup("hog")
+	c.Charge(hog, c.Free()-c.LowWM+5*units.MiB, 0)
+	if high.Swapped() == 0 {
+		t.Fatal("weighted victim selection broken: high-swappiness group untouched")
+	}
+}
+
+func TestRemoveParentGroupFreesSubtree(t *testing.T) {
+	c := newCtl(8 * units.GiB)
+	pod := c.NewGroup("pod")
+	a := c.NewChildGroup(pod, "a")
+	a.HardLimit = 512 * units.MiB
+	c.Charge(a, units.GiB, 0) // half swaps
+	c.RemoveGroup(pod)
+	if c.Free() != 8*units.GiB {
+		t.Fatalf("free = %v after removing the pod", c.Free())
+	}
+	if c.Swap().Used() != 0 {
+		t.Fatalf("swap used = %v after removal", c.Swap().Used())
+	}
+	if len(c.Groups()) != 0 {
+		t.Fatal("groups not removed")
+	}
+}
+
+func TestDeepNestingPanics(t *testing.T) {
+	c := newCtl(units.GiB)
+	pod := c.NewGroup("pod")
+	child := c.NewChildGroup(pod, "a")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on two-level nesting")
+		}
+	}()
+	c.NewChildGroup(child, "grandchild")
+}

@@ -1,0 +1,211 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"arv/internal/units"
+)
+
+func run(t *testing.T, script string) (*Interp, *strings.Builder) {
+	t.Helper()
+	var out strings.Builder
+	in := New(&out)
+	if err := in.Run(strings.NewReader(script)); err != nil {
+		t.Fatalf("script failed: %v\noutput so far:\n%s", err, out.String())
+	}
+	return in, &out
+}
+
+func TestHostCommand(t *testing.T) {
+	in, _ := run(t, "host 8 32GiB")
+	if in.Host().Sched.NCPU() != 8 || in.Host().Mem.Total() != 32*units.GiB {
+		t.Fatal("host command not applied")
+	}
+}
+
+func TestDefaultHost(t *testing.T) {
+	in, _ := run(t, "create a")
+	if in.Host().Sched.NCPU() != 20 {
+		t.Fatal("default host not 20 CPUs")
+	}
+}
+
+func TestCreateOptions(t *testing.T) {
+	in, _ := run(t, "create a shares=2048 quota=2.5 cpuset=4 hard=1GiB soft=512MiB gamma=0.4")
+	c, err := in.Container("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Spec.CPUShares != 2048 || c.Cgroup.CPU.CPULimit() != 2.5 ||
+		c.Cgroup.CPU.CpusetN != 4 || c.Cgroup.Mem.HardLimit != units.GiB ||
+		c.Cgroup.Mem.SoftLimit != 512*units.MiB || c.Cgroup.CPU.Gamma != 0.4 {
+		t.Fatalf("spec not applied: %+v", c.Spec)
+	}
+}
+
+func TestFullScenario(t *testing.T) {
+	in, out := run(t, `
+host 8 16GiB
+create a quota=2
+exec a app
+create b
+exec b app        # comment after command
+sysbench a 4 10
+sysbench b 4 10
+advance 1s
+top
+wait 60s
+`)
+	if len(in.Programs()) != 2 {
+		t.Fatalf("programs = %d", len(in.Programs()))
+	}
+	for _, p := range in.Programs() {
+		if !p.Done() {
+			t.Fatal("wait did not run programs to completion")
+		}
+	}
+	s := out.String()
+	if !strings.Contains(s, "container") || !strings.Contains(s, "E_CPU") {
+		t.Fatalf("top output malformed:\n%s", s)
+	}
+}
+
+func TestJVMAndOMPLaunch(t *testing.T) {
+	in, _ := run(t, `
+host 8 16GiB
+create j gamma=0.5
+exec j java
+jvm j lusearch adaptive xmx=200MiB xms=64MiB elastic
+create o
+exec o npb
+omp o ep adaptive
+wait 20m
+`)
+	for i, p := range in.Programs() {
+		if !p.Done() {
+			t.Fatalf("program %d did not finish", i)
+		}
+	}
+}
+
+func TestMemhogAndDestroy(t *testing.T) {
+	in, _ := run(t, `
+host 8 16GiB
+create hog
+exec hog memhog
+memhog hog 2GiB 8GiB
+advance 2s
+destroy hog
+`)
+	if _, err := in.Container("hog"); err == nil {
+		t.Fatal("destroyed container still resolvable")
+	}
+	if in.Host().Mem.Free() != 16*units.GiB {
+		t.Fatalf("memory not freed: %v", in.Host().Mem.Free())
+	}
+}
+
+func TestPodCommands(t *testing.T) {
+	in, _ := run(t, `
+host 16 32GiB
+pod p quota=6 hard=4GiB
+create a pod=p shares=3072
+exec a app
+create b pod=p
+exec b app
+create flat
+exec flat app
+`)
+	a, err := in.Container("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cgroup.Parent == nil || a.Cgroup.Parent.Name != "p" {
+		t.Fatal("container not nested in the pod")
+	}
+	if _, upper := a.NS.CPUBounds(); upper != 6 {
+		t.Fatalf("pod quota not reflected: upper = %d", upper)
+	}
+}
+
+func TestPodErrors(t *testing.T) {
+	for name, script := range map[string]string{
+		"dup pod":     "pod p\npod p",
+		"unknown pod": "create a pod=nope",
+		"bad pod opt": "pod p frob=1",
+	} {
+		in := New(nil)
+		if err := in.Run(strings.NewReader(script)); err == nil {
+			t.Errorf("%s: %q should fail", name, script)
+		}
+	}
+}
+
+func TestErrorsCarryLineNumbers(t *testing.T) {
+	in := New(nil)
+	err := in.Run(strings.NewReader("create a\nbogus cmd\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("error = %v, want line 2 annotation", err)
+	}
+}
+
+func TestCommandErrors(t *testing.T) {
+	cases := map[string]string{
+		"unknown command":     "frob a b",
+		"bad host":            "host x 1GiB",
+		"dup container":       "create a\ncreate a",
+		"unknown container":   "exec nope app",
+		"bad option":          "create a nope=1",
+		"bad option value":    "create a quota=x",
+		"bad workload":        "create a\nexec a x\njvm a nope adaptive",
+		"bad policy":          "create a\nexec a x\njvm a h2 nope",
+		"bad jvm option":      "create a\nexec a x\njvm a h2 adaptive foo=1",
+		"bad strategy":        "create a\nexec a x\nomp a cg nope",
+		"bad kernel":          "create a\nexec a x\nomp a nope static",
+		"bad duration":        "advance soon",
+		"host twice":          "host 4 1GiB\nhost 4 1GiB",
+		"create no name":      "create",
+		"sysbench bad thread": "create a\nsysbench a x 1",
+	}
+	for name, script := range cases {
+		in := New(nil)
+		if err := in.Run(strings.NewReader(script)); err == nil {
+			t.Errorf("%s: script %q should fail", name, script)
+		}
+	}
+}
+
+func TestParseSize(t *testing.T) {
+	cases := map[string]units.Bytes{
+		"1":      1,
+		"512":    512,
+		"1KiB":   units.KiB,
+		"2K":     2 * units.KiB,
+		"100MB":  100 * units.MiB,
+		"1.5GiB": 3 * units.GiB / 2,
+		"4G":     4 * units.GiB,
+	}
+	for s, want := range cases {
+		got, err := ParseSize(s)
+		if err != nil || got != want {
+			t.Errorf("ParseSize(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	for _, bad := range []string{"", "x", "-1", "GiB"} {
+		if _, err := ParseSize(bad); err == nil {
+			t.Errorf("ParseSize(%q) should fail", bad)
+		}
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for _, name := range []string{"vanilla", "dynamic", "jvm9", "jvm10", "adaptive"} {
+		if _, err := ParsePolicy(name); err != nil {
+			t.Errorf("ParsePolicy(%q): %v", name, err)
+		}
+	}
+	if _, err := ParsePolicy("nope"); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}

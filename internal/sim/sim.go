@@ -1,0 +1,154 @@
+// Package sim provides the discrete-time simulation engine underneath the
+// host model: a virtual clock, a timer wheel ordered by firing time, and a
+// deterministic pseudo-random number generator.
+//
+// The engine advances in fixed ticks (Clock.Step). Timers scheduled between
+// ticks fire, in timestamp order, when the clock passes their deadline.
+// Everything is single-goroutine and deterministic: two runs with the same
+// seed and the same sequence of Step calls produce identical histories.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Time is a point in virtual time, measured as an offset from the start of
+// the simulation.
+type Time = time.Duration
+
+// Clock is the virtual clock plus the timer queue that drives the
+// simulation. The zero value is not usable; call NewClock.
+type Clock struct {
+	now    Time
+	tick   time.Duration
+	timers timerHeap
+	seq    uint64
+}
+
+// NewClock returns a clock at time zero advancing in steps of tick.
+func NewClock(tick time.Duration) *Clock {
+	if tick <= 0 {
+		panic(fmt.Sprintf("sim: non-positive tick %v", tick))
+	}
+	return &Clock{tick: tick}
+}
+
+// Now returns the current virtual time.
+func (c *Clock) Now() Time { return c.now }
+
+// Tick returns the step size the clock was created with.
+func (c *Clock) Tick() time.Duration { return c.tick }
+
+// Step advances the clock by one tick and fires every timer whose deadline
+// has been reached, in deadline order (FIFO among equal deadlines). It
+// returns the new time. Timer callbacks may schedule further timers,
+// including for the current instant; those fire within the same Step.
+func (c *Clock) Step() Time {
+	c.now += c.tick
+	for len(c.timers) > 0 && c.timers[0].when <= c.now {
+		t := heap.Pop(&c.timers).(*timer)
+		if t.cancelled {
+			continue
+		}
+		t.fn(c.now)
+		if t.period > 0 && !t.cancelled {
+			t.when += t.period
+			heap.Push(&c.timers, t)
+		}
+	}
+	return c.now
+}
+
+// RunUntil steps the clock until now >= deadline.
+func (c *Clock) RunUntil(deadline Time) {
+	for c.now < deadline {
+		c.Step()
+	}
+}
+
+// Timer is a handle to a scheduled callback.
+type Timer struct{ t *timer }
+
+// Stop cancels the timer. It is safe to call multiple times and from
+// within the timer's own callback.
+func (t Timer) Stop() {
+	if t.t != nil {
+		t.t.cancelled = true
+	}
+}
+
+// SetPeriod changes the repeat interval of a periodic timer. The new
+// period takes effect after the next firing. Setting a period on a
+// one-shot timer makes it periodic. period must be positive.
+func (t Timer) SetPeriod(period time.Duration) {
+	if period <= 0 {
+		panic("sim: non-positive timer period")
+	}
+	if t.t != nil {
+		t.t.period = period
+	}
+}
+
+// After schedules fn to run once when the clock reaches now+d.
+func (c *Clock) After(d time.Duration, fn func(now Time)) Timer {
+	return c.schedule(c.now+d, 0, fn)
+}
+
+// Every schedules fn to run every period, first firing at now+period.
+// period must be positive.
+func (c *Clock) Every(period time.Duration, fn func(now Time)) Timer {
+	if period <= 0 {
+		panic("sim: non-positive timer period")
+	}
+	return c.schedule(c.now+period, period, fn)
+}
+
+func (c *Clock) schedule(when Time, period time.Duration, fn func(Time)) Timer {
+	c.seq++
+	t := &timer{when: when, period: period, fn: fn, seq: c.seq}
+	heap.Push(&c.timers, t)
+	return Timer{t}
+}
+
+// PendingTimers reports how many timers are scheduled (including
+// cancelled ones not yet reaped).
+func (c *Clock) PendingTimers() int { return len(c.timers) }
+
+type timer struct {
+	when      Time
+	period    time.Duration
+	fn        func(Time)
+	seq       uint64
+	cancelled bool
+	idx       int
+}
+
+type timerHeap []*timer
+
+func (h timerHeap) Len() int { return len(h) }
+func (h timerHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+func (h timerHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *timerHeap) Push(x any) {
+	t := x.(*timer)
+	t.idx = len(*h)
+	*h = append(*h, t)
+}
+func (h *timerHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return t
+}

@@ -1,0 +1,173 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestClockStepAdvances(t *testing.T) {
+	c := NewClock(time.Millisecond)
+	if c.Now() != 0 {
+		t.Fatalf("new clock at %v, want 0", c.Now())
+	}
+	c.Step()
+	c.Step()
+	if c.Now() != 2*time.Millisecond {
+		t.Fatalf("after two steps: %v", c.Now())
+	}
+}
+
+func TestNewClockPanicsOnBadTick(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-positive tick")
+		}
+	}()
+	NewClock(0)
+}
+
+func TestAfterFiresOnce(t *testing.T) {
+	c := NewClock(time.Millisecond)
+	var fired []Time
+	c.After(3*time.Millisecond, func(now Time) { fired = append(fired, now) })
+	c.RunUntil(10 * time.Millisecond)
+	if len(fired) != 1 {
+		t.Fatalf("one-shot fired %d times", len(fired))
+	}
+	if fired[0] != 3*time.Millisecond {
+		t.Fatalf("fired at %v, want 3ms", fired[0])
+	}
+}
+
+func TestEveryFiresPeriodically(t *testing.T) {
+	c := NewClock(time.Millisecond)
+	n := 0
+	c.Every(2*time.Millisecond, func(Time) { n++ })
+	c.RunUntil(11 * time.Millisecond)
+	if n != 5 {
+		t.Fatalf("periodic fired %d times in 11ms at 2ms period, want 5", n)
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	c := NewClock(time.Millisecond)
+	n := 0
+	tm := c.Every(time.Millisecond, func(Time) { n++ })
+	c.RunUntil(3 * time.Millisecond)
+	tm.Stop()
+	c.RunUntil(10 * time.Millisecond)
+	if n != 3 {
+		t.Fatalf("fired %d times, want 3 (stopped)", n)
+	}
+}
+
+func TestTimerStopFromCallback(t *testing.T) {
+	c := NewClock(time.Millisecond)
+	n := 0
+	var tm Timer
+	tm = c.Every(time.Millisecond, func(Time) {
+		n++
+		if n == 2 {
+			tm.Stop()
+		}
+	})
+	c.RunUntil(10 * time.Millisecond)
+	if n != 2 {
+		t.Fatalf("fired %d times, want 2", n)
+	}
+}
+
+func TestTimerOrderingFIFOAtSameDeadline(t *testing.T) {
+	c := NewClock(time.Millisecond)
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		c.After(time.Millisecond, func(Time) { order = append(order, i) })
+	}
+	c.Step()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v, want FIFO", order)
+		}
+	}
+}
+
+func TestTimerScheduledWithinCallbackSameInstant(t *testing.T) {
+	c := NewClock(time.Millisecond)
+	var hits []string
+	c.After(time.Millisecond, func(now Time) {
+		hits = append(hits, "outer")
+		c.After(0, func(Time) { hits = append(hits, "inner") })
+	})
+	c.Step()
+	if len(hits) != 2 || hits[1] != "inner" {
+		t.Fatalf("hits = %v; nested zero-delay timer must fire within the same step", hits)
+	}
+}
+
+func TestSetPeriod(t *testing.T) {
+	c := NewClock(time.Millisecond)
+	n := 0
+	var tm Timer
+	tm = c.Every(time.Millisecond, func(Time) {
+		n++
+		tm.SetPeriod(3 * time.Millisecond)
+	})
+	c.RunUntil(10 * time.Millisecond)
+	// Fires at 1ms, then every 3ms: 4, 7, 10.
+	if n != 4 {
+		t.Fatalf("fired %d times, want 4", n)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(7), NewRNG(7)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same-seed RNGs diverged")
+		}
+	}
+}
+
+func TestRNGZeroSeedRemapped(t *testing.T) {
+	r := NewRNG(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("zero-seeded RNG stuck at zero")
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		for i := 0; i < 50; i++ {
+			v := r.Float64()
+			if v < 0 || v >= 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRNGIntNRange(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 1000; i++ {
+		if v := r.IntN(7); v < 0 || v >= 7 {
+			t.Fatalf("IntN out of range: %d", v)
+		}
+	}
+}
+
+func TestJitterBounds(t *testing.T) {
+	r := NewRNG(9)
+	for i := 0; i < 1000; i++ {
+		v := r.Jitter(100, 0.1)
+		if v < 90 || v > 110 {
+			t.Fatalf("Jitter out of bounds: %v", v)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package sysfs
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"arv/internal/cgroups"
+)
+
+// ReadCgroupFile renders the administrator-facing control files of a
+// cgroup — the `/sys/fs/cgroup/{cpu,cpuset,memory}/<name>/...` interface
+// tooling like docker stats and cadvisor reads. Paths are the file names
+// within the cgroup's directory, e.g. "cpu.shares" or
+// "memory.usage_in_bytes".
+func ReadCgroupFile(cg *cgroups.Cgroup, file string) (string, error) {
+	switch file {
+	case "cpu.shares":
+		return fmt.Sprintf("%d\n", cg.CPU.Shares), nil
+	case "cpu.cfs_quota_us":
+		return fmt.Sprintf("%d\n", cg.CPU.QuotaUS), nil
+	case "cpu.cfs_period_us":
+		return fmt.Sprintf("%d\n", cg.CPU.PeriodUS), nil
+	case "cpu.stat":
+		return fmt.Sprintf("throttled_time %d\n", cg.CPU.ThrottledTime().Nanoseconds()), nil
+	case "cpuacct.usage":
+		// Cumulative CPU time in nanoseconds, as cpuacct reports.
+		return fmt.Sprintf("%d\n", int64(float64(cg.CPU.Usage())*1e9)), nil
+	case "cpuset.cpus":
+		n := cg.CPU.CpusetN
+		if n <= 0 {
+			return "", nil // unrestricted: empty mask means "all" here
+		}
+		if n == 1 {
+			return "0\n", nil
+		}
+		return fmt.Sprintf("0-%d\n", n-1), nil
+	case "memory.limit_in_bytes":
+		if cg.Mem.HardLimit <= 0 {
+			// The kernel reports PAGE_COUNTER_MAX-ish for "unlimited".
+			return fmt.Sprintf("%d\n", int64(math.MaxInt64)), nil
+		}
+		return fmt.Sprintf("%d\n", int64(cg.Mem.HardLimit)), nil
+	case "memory.soft_limit_in_bytes":
+		if cg.Mem.SoftLimit <= 0 {
+			return fmt.Sprintf("%d\n", int64(math.MaxInt64)), nil
+		}
+		return fmt.Sprintf("%d\n", int64(cg.Mem.SoftLimit)), nil
+	case "memory.usage_in_bytes":
+		return fmt.Sprintf("%d\n", int64(cg.Mem.Resident())), nil
+	case "memory.stat":
+		var b strings.Builder
+		out, in := cg.Mem.SwapTraffic()
+		fmt.Fprintf(&b, "rss %d\n", int64(cg.Mem.Resident()))
+		fmt.Fprintf(&b, "swap %d\n", int64(cg.Mem.Swapped()))
+		fmt.Fprintf(&b, "pswpout %d\n", out.Pages())
+		fmt.Fprintf(&b, "pswpin %d\n", in.Pages())
+		if cg.Mem.SubtreeResident() > 0 {
+			fmt.Fprintf(&b, "hierarchical_rss %d\n", int64(cg.Mem.SubtreeResident()))
+		}
+		return b.String(), nil
+	case "cgroup.procs":
+		// The simulation tracks processes at the container level, not
+		// the cgroup level; the file exists but is served by the
+		// container runtime. Render empty here.
+		return "", nil
+	default:
+		return "", ErrNoEnt{Path: cg.Name + "/" + file}
+	}
+}
+
+// CgroupFiles lists the control files ReadCgroupFile serves.
+func CgroupFiles() []string {
+	return []string{
+		"cpu.shares", "cpu.cfs_quota_us", "cpu.cfs_period_us", "cpu.stat",
+		"cpuacct.usage", "cpuset.cpus",
+		"memory.limit_in_bytes", "memory.soft_limit_in_bytes",
+		"memory.usage_in_bytes", "memory.stat", "cgroup.procs",
+	}
+}

@@ -1,0 +1,189 @@
+package sysns
+
+import (
+	"time"
+
+	"arv/internal/cfs"
+	"arv/internal/cgroups"
+	"arv/internal/sim"
+)
+
+// Monitor is ns_monitor: the system-wide daemon (a kernel thread in the
+// paper) that (1) creates and destroys sys_namespaces as containers come
+// and go, (2) recomputes every namespace's CPU bounds whenever any cgroup
+// setting changes — the share term of Algorithm 1 couples all containers
+// through Σw_j — and (3) drives the periodic effective-CPU/memory updates
+// with an interval equal to the CFS scheduling period (§3.2).
+type Monitor struct {
+	hier  *cgroups.Hierarchy
+	clock *sim.Clock
+	opts  Options
+
+	spaces map[*cgroups.Cgroup]*SysNamespace
+	order  []*SysNamespace
+
+	// FixedPeriod, when non-zero, pins the update period instead of
+	// tracking the scheduling period (used by the update-period
+	// ablation).
+	FixedPeriod time.Duration
+
+	lastUpdate sim.Time
+	timer      sim.Timer
+	started    bool
+}
+
+// NewMonitor creates a monitor bound to the hierarchy and subscribes it
+// to cgroup events. Namespaces are created only for cgroups registered
+// through Attach (mirroring the paper: only containerized processes get
+// a sys_namespace).
+func NewMonitor(hier *cgroups.Hierarchy, clock *sim.Clock, opts Options) *Monitor {
+	m := &Monitor{
+		hier:   hier,
+		clock:  clock,
+		opts:   opts,
+		spaces: make(map[*cgroups.Cgroup]*SysNamespace),
+	}
+	hier.Subscribe(m.onEvent)
+	return m
+}
+
+// Attach creates a sys_namespace for cg (idempotent) and returns it.
+func (m *Monitor) Attach(cg *cgroups.Cgroup) *SysNamespace {
+	if ns, ok := m.spaces[cg]; ok {
+		return ns
+	}
+	ns := &SysNamespace{cg: cg, hier: m.hier, opts: m.opts, created: m.clock.Now(), prevKswapd: m.hier.Memory().KswapdRuns()}
+	m.spaces[cg] = ns
+	m.order = append(m.order, ns)
+	m.recomputeAll()
+	ns.ResetMemory()
+	return ns
+}
+
+// Detach removes cg's namespace (also triggered by cgroup removal).
+func (m *Monitor) Detach(cg *cgroups.Cgroup) {
+	ns, ok := m.spaces[cg]
+	if !ok {
+		return
+	}
+	delete(m.spaces, cg)
+	for i, x := range m.order {
+		if x == ns {
+			m.order = append(m.order[:i], m.order[i+1:]...)
+			break
+		}
+	}
+	m.recomputeAll()
+}
+
+// Lookup returns cg's namespace, or nil.
+func (m *Monitor) Lookup(cg *cgroups.Cgroup) *SysNamespace { return m.spaces[cg] }
+
+// Namespaces returns the live namespaces in attach order.
+func (m *Monitor) Namespaces() []*SysNamespace { return m.order }
+
+func (m *Monitor) onEvent(e cgroups.Event) {
+	switch e.Kind {
+	case cgroups.Removed:
+		m.Detach(e.Cgroup)
+	case cgroups.CPUChanged, cgroups.MemChanged:
+		// Bounds depend on every container's shares; recompute all.
+		m.recomputeAll()
+	}
+}
+
+// recomputeAll recalculates every namespace's guaranteed share fraction
+// and bounds. For a flat container the fraction is w_i/Σw_j over the
+// top-level entities; for a container inside a pod it is the pod's
+// fraction times the container's fraction among its siblings (all
+// siblings count, attached or not — they compete for the pod's grant
+// either way).
+func (m *Monitor) recomputeAll() {
+	tops := make(map[*cfs.Group]bool)
+	for _, ns := range m.order {
+		g := ns.cg.CPU
+		if p := g.Parent(); p != nil {
+			tops[p] = true
+		} else {
+			tops[g] = true
+		}
+	}
+	var totalTop int64
+	for t := range tops {
+		totalTop += t.Shares
+	}
+	for _, ns := range m.order {
+		g := ns.cg.CPU
+		frac := 0.0
+		if totalTop > 0 {
+			if p := g.Parent(); p != nil {
+				var siblings int64
+				for _, c := range p.Children() {
+					siblings += c.Shares
+				}
+				if siblings > 0 {
+					frac = float64(p.Shares) / float64(totalTop) *
+						float64(g.Shares) / float64(siblings)
+				}
+			} else {
+				frac = float64(g.Shares) / float64(totalTop)
+			}
+		}
+		ns.RecomputeBounds(frac)
+	}
+}
+
+// Period returns the namespace update interval currently in effect.
+func (m *Monitor) Period() time.Duration {
+	if m.FixedPeriod > 0 {
+		return m.FixedPeriod
+	}
+	p := m.hier.Scheduler().SchedPeriod()
+	if p <= 0 {
+		p = 24 * time.Millisecond
+	}
+	return p
+}
+
+// Start arms the periodic update timer. The interval is re-evaluated
+// after each firing, since the CFS scheduling period depends on the
+// number of runnable tasks.
+func (m *Monitor) Start() {
+	if m.started {
+		return
+	}
+	m.started = true
+	m.lastUpdate = m.clock.Now()
+	m.arm()
+}
+
+func (m *Monitor) arm() {
+	m.timer = m.clock.After(m.Period(), func(now sim.Time) {
+		m.UpdateAll(now)
+		m.arm()
+	})
+}
+
+// Stop disarms the update timer.
+func (m *Monitor) Stop() {
+	m.timer.Stop()
+	m.started = false
+}
+
+// UpdateAll runs one Algorithm 1 + Algorithm 2 round for every
+// namespace. Exposed so tests and benchmarks can drive updates without
+// the timer.
+func (m *Monitor) UpdateAll(now sim.Time) {
+	window := time.Duration(now - m.lastUpdate)
+	if window <= 0 {
+		window = m.Period()
+	}
+	m.lastUpdate = now
+
+	slack := m.hier.Scheduler().TakeWindowSlack()
+	for _, ns := range m.order {
+		usage := ns.cg.CPU.TakeWindowUsage()
+		ns.UpdateCPU(now, window, usage, slack)
+		ns.UpdateMem(now)
+	}
+}

@@ -1,0 +1,299 @@
+// Package sysns implements the paper's central contribution: the
+// per-container sys_namespace that maintains the *effective* CPU and
+// memory capacity of a container (Algorithms 1 and 2 of the paper), plus
+// the system-wide ns_monitor that keeps namespace bounds in sync with
+// cgroup changes.
+//
+// Effective CPU is exported as a discrete CPU count whose aggregate
+// capacity equals the CPU time the container can actually use given its
+// share, limit, affinity, and the real-time usage of co-located
+// containers. Effective memory reflects the container's soft limit,
+// expanded toward the hard limit while the host has free memory, and
+// reset to the soft limit whenever kswapd is reclaiming.
+package sysns
+
+import (
+	"math"
+	"time"
+
+	"arv/internal/cgroups"
+	"arv/internal/sim"
+	"arv/internal/units"
+)
+
+// Tunables of the two algorithms, as published.
+const (
+	// UtilThreshold is UTIL_THRSHD of Algorithm 1: effective CPU grows
+	// only when the container used more than this fraction of its
+	// current effective capacity during the last update period.
+	UtilThreshold = 0.95
+	// MemUtilThreshold is the Algorithm 2 analogue: effective memory
+	// grows only when the container uses more than this fraction of it.
+	MemUtilThreshold = 0.90
+	// MemStepFrac is the Algorithm 2 expansion increment: 10% of the
+	// remaining headroom toward the hard limit.
+	MemStepFrac = 0.10
+	// CPUStep bounds the per-update change of effective CPU ("changes
+	// to effective CPU are limited to 1 per update to prevent abrupt
+	// fluctuations").
+	CPUStep = 1
+)
+
+// Options tune a SysNamespace away from the paper's published constants.
+// The zero value selects the published behaviour; it is what every
+// experiment other than the ablations uses.
+type Options struct {
+	// UtilThreshold overrides UtilThreshold when non-zero.
+	UtilThreshold float64
+	// MemUtilThreshold overrides MemUtilThreshold when non-zero.
+	MemUtilThreshold float64
+	// MemStepFrac overrides MemStepFrac when non-zero.
+	MemStepFrac float64
+	// CPUStep overrides CPUStep when non-zero.
+	CPUStep int
+	// DisableGrowth pins effective CPU at its lower bound and effective
+	// memory at the soft limit (the "static" ablation, which is what
+	// JDK 10's share-based heuristic effectively computes).
+	DisableGrowth bool
+}
+
+func (o Options) utilThreshold() float64 {
+	if o.UtilThreshold > 0 {
+		return o.UtilThreshold
+	}
+	return UtilThreshold
+}
+
+func (o Options) memUtilThreshold() float64 {
+	if o.MemUtilThreshold > 0 {
+		return o.MemUtilThreshold
+	}
+	return MemUtilThreshold
+}
+
+func (o Options) memStepFrac() float64 {
+	if o.MemStepFrac > 0 {
+		return o.MemStepFrac
+	}
+	return MemStepFrac
+}
+
+func (o Options) cpuStep() int {
+	if o.CPUStep > 0 {
+		return o.CPUStep
+	}
+	return CPUStep
+}
+
+// SysNamespace holds one container's effective-resource view.
+type SysNamespace struct {
+	cg   *cgroups.Cgroup
+	hier *cgroups.Hierarchy
+	opts Options
+
+	// Effective CPU state (Algorithm 1).
+	eCPU     int
+	lowerCPU int
+	upperCPU int
+
+	// Effective memory state (Algorithm 2).
+	eMem       units.Bytes
+	prevFree   units.Bytes
+	prevUsage  units.Bytes
+	havePrev   bool
+	prevKswapd int
+
+	// OwnerPID is the PID of the task owning the namespace. Ownership
+	// starts at the container's bootstrap init process and is
+	// transferred to the post-exec init when the original init dies
+	// (§3.2); see internal/container.
+	OwnerPID int
+
+	updates uint64
+	lastAt  sim.Time
+	created sim.Time
+}
+
+// Cgroup returns the control group this namespace describes.
+func (ns *SysNamespace) Cgroup() *cgroups.Cgroup { return ns.cg }
+
+// EffectiveCPU returns E_CPU: the number of dedicated-CPU equivalents
+// currently available to the container.
+func (ns *SysNamespace) EffectiveCPU() int { return ns.eCPU }
+
+// EffectiveMemory returns E_MEM.
+func (ns *SysNamespace) EffectiveMemory() units.Bytes { return ns.eMem }
+
+// CPUBounds returns the current [LOWER_CPU, UPPER_CPU] range.
+func (ns *SysNamespace) CPUBounds() (lower, upper int) {
+	return ns.lowerCPU, ns.upperCPU
+}
+
+// Updates returns how many timer updates the namespace has processed.
+func (ns *SysNamespace) Updates() uint64 { return ns.updates }
+
+// hardMem returns the hard limit with "unlimited" resolved to host RAM.
+func (ns *SysNamespace) hardMem() units.Bytes {
+	if h := ns.cg.Mem.HardLimit; h > 0 {
+		return h
+	}
+	return ns.hier.Memory().Total()
+}
+
+// softMem returns the soft limit with "unlimited" resolved to the hard
+// limit (a container with no soft limit has nothing reclaimable, so its
+// guaranteed memory is its hard limit).
+func (ns *SysNamespace) softMem() units.Bytes {
+	if s := ns.cg.Mem.SoftLimit; s > 0 {
+		return s
+	}
+	return ns.hardMem()
+}
+
+// RecomputeBounds recalculates LOWER_CPU and UPPER_CPU (Algorithm 1,
+// lines 4-5) from the container's limit l/t, affinity |M|, and its
+// guaranteed share fraction of the host (w_i/Σw_j for flat containers;
+// the product of the pod's and the container's fractions for nested
+// ones — ns_monitor computes it), and clamps E_CPU into the new range.
+// The limit and mask of an enclosing cgroup bound the container too.
+func (ns *SysNamespace) RecomputeBounds(shareFrac float64) {
+	p := ns.hier.Scheduler().NCPU()
+
+	limitCPUs := func(g interface {
+		CPULimit() float64
+	}) int {
+		lim := g.CPULimit() // l / t, in CPUs
+		if math.IsInf(lim, 1) {
+			return p
+		}
+		n := int(math.Floor(lim + 1e-9))
+		if n < 1 {
+			n = 1
+		}
+		return n
+	}
+
+	upper := min(limitCPUs(ns.cg.CPU), p)
+	if mask := ns.cg.CPU.CpusetN; mask > 0 {
+		upper = min(upper, mask)
+	}
+	if parent := ns.cg.CPU.Parent(); parent != nil {
+		upper = min(upper, limitCPUs(parent))
+		if mask := parent.CpusetN; mask > 0 {
+			upper = min(upper, mask)
+		}
+	}
+
+	shareCPUs := p
+	if shareFrac > 0 {
+		shareCPUs = int(math.Ceil(shareFrac * float64(p)))
+		if shareCPUs < 1 {
+			shareCPUs = 1
+		}
+	}
+
+	lower := min(upper, shareCPUs)
+
+	ns.lowerCPU, ns.upperCPU = lower, upper
+	if ns.eCPU == 0 {
+		// Initialisation: E_CPU_i = LOWER_CPU_i (Algorithm 1, line 6).
+		ns.eCPU = lower
+	}
+	ns.eCPU = units.ClampInt(ns.eCPU, lower, upper)
+}
+
+// ResetMemory initialises (or re-initialises) effective memory to the
+// soft limit (Algorithm 2, lines 3 and 14).
+func (ns *SysNamespace) ResetMemory() {
+	ns.eMem = ns.softMem()
+}
+
+// UpdateCPU performs one Algorithm 1 adjustment round. window is the
+// update period t; usage is the container's CPU consumption u_i during
+// the window; slack is the system-wide unused CPU capacity accumulated
+// during the window (p_slack).
+func (ns *SysNamespace) UpdateCPU(now sim.Time, window time.Duration, usage, slack units.CPUSeconds) {
+	ns.updates++
+	ns.lastAt = now
+	if ns.opts.DisableGrowth {
+		ns.eCPU = ns.lowerCPU
+		return
+	}
+	step := ns.opts.cpuStep()
+	if slack > 0 {
+		capacity := float64(ns.eCPU) * window.Seconds()
+		if capacity > 0 && float64(usage)/capacity > ns.opts.utilThreshold() && ns.eCPU < ns.upperCPU {
+			ns.eCPU = units.ClampInt(ns.eCPU+step, ns.lowerCPU, ns.upperCPU)
+		}
+	} else if ns.eCPU > ns.lowerCPU {
+		ns.eCPU = units.ClampInt(ns.eCPU-step, ns.lowerCPU, ns.upperCPU)
+	}
+}
+
+// UpdateMem performs one Algorithm 2 adjustment round using the host's
+// current free memory and the container's current usage. The previous
+// round's values (p_free, p_mem) are remembered internally.
+func (ns *SysNamespace) UpdateMem(now sim.Time) {
+	mem := ns.hier.Memory()
+	cfree := mem.Free()
+	cmem := ns.cg.Mem.Resident()
+	// "Whenever system memory is in shortage and kswapd is reclaiming
+	// memory, reset a container's effective memory to its soft limit":
+	// shortage is visible either as free memory below the low watermark
+	// right now, or as kswapd activity since the previous update (free
+	// memory may already have recovered to the high watermark by the
+	// time the timer fires).
+	kswapd := mem.KswapdRuns()
+	reclaiming := cfree <= mem.LowWM || kswapd > ns.prevKswapd
+	defer func() {
+		ns.prevFree, ns.prevUsage, ns.havePrev = cfree, cmem, true
+		ns.prevKswapd = kswapd
+	}()
+
+	if ns.eMem == 0 {
+		ns.ResetMemory()
+	}
+	if ns.opts.DisableGrowth {
+		ns.eMem = ns.softMem()
+		return
+	}
+
+	hard := ns.hardMem()
+	if !reclaiming {
+		if ns.eMem > 0 && float64(cmem)/float64(ns.eMem) > ns.opts.memUtilThreshold() && ns.eMem < hard {
+			delta := units.Bytes(float64(hard-ns.eMem) * ns.opts.memStepFrac())
+			if delta <= 0 {
+				return
+			}
+			// Predict the system-wide free-memory cost of granting
+			// delta, from the previous round's marginal ratio
+			// (Algorithm 2, line 8). With no history, or a container
+			// that did not grow, assume a 1:1 ratio.
+			ratio := 1.0
+			if ns.havePrev && cmem > ns.prevUsage {
+				ratio = float64(ns.prevFree-cfree) / float64(cmem-ns.prevUsage)
+				if ratio < 0 {
+					ratio = 0
+				}
+			}
+			predicted := units.Bytes(ratio * float64(delta))
+			if cfree-predicted > mem.HighWM {
+				ns.eMem += delta
+				if ns.eMem > hard {
+					ns.eMem = hard
+				}
+			}
+		}
+	} else {
+		// Memory shortage: kswapd is (or has been) reclaiming; fall
+		// back to the guaranteed soft limit.
+		ns.ResetMemory()
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,187 @@
+// Package texttable renders experiment results as aligned text tables,
+// CSV, and simple x/y series — the formats cmd/arvbench prints so each
+// figure/table of the paper can be regenerated as rows on stdout.
+package texttable
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a rectangular result with a caption.
+type Table struct {
+	Caption string
+	Header  []string
+	Rows    [][]string
+}
+
+// New returns an empty table with the given caption and header.
+func New(caption string, header ...string) *Table {
+	return &Table{Caption: caption, Header: header}
+}
+
+// AddRow appends a row; values are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = trimFloat(v)
+		case float32:
+			row[i] = trimFloat(float64(v))
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.3f", v)
+	s = strings.TrimRight(s, "0")
+	return strings.TrimRight(s, ".")
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var b strings.Builder
+	if t.Caption != "" {
+		fmt.Fprintf(&b, "# %s\n", t.Caption)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Markdown renders the table as a GitHub-flavoured Markdown table with
+// the caption as a bold lead-in line.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	if t.Caption != "" {
+		fmt.Fprintf(&b, "**%s**\n\n", t.Caption)
+	}
+	writeRow := func(cells []string) {
+		b.WriteString("|")
+		for _, c := range cells {
+			b.WriteString(" ")
+			b.WriteString(strings.ReplaceAll(c, "|", "\\|"))
+			b.WriteString(" |")
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (quoting cells that
+// contain commas or quotes).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			b.WriteString(c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Series is a named sequence of (x, y) points — one line of a figure.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Add appends one point.
+func (s *Series) Add(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// SeriesTable renders several series sharing an x axis as a table with
+// one column per series. Series are sampled at the union of x values;
+// missing points print empty.
+func SeriesTable(caption, xlabel string, series ...Series) *Table {
+	seen := map[float64]bool{}
+	var xs []float64
+	for _, s := range series {
+		for _, x := range s.X {
+			if !seen[x] {
+				seen[x] = true
+				xs = append(xs, x)
+			}
+		}
+	}
+	// insertion sort: x lists are near-sorted already
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+	header := append([]string{xlabel}, make([]string, len(series))...)
+	for i, s := range series {
+		header[i+1] = s.Name
+	}
+	t := New(caption, header...)
+	for _, x := range xs {
+		row := make([]any, len(series)+1)
+		row[0] = trimFloat(x)
+		for i, s := range series {
+			row[i+1] = ""
+			for k, sx := range s.X {
+				if sx == x {
+					row[i+1] = trimFloat(s.Y[k])
+					break
+				}
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t
+}

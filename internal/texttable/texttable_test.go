@@ -1,0 +1,106 @@
+package texttable
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := New("caption", "name", "value")
+	tb.AddRow("alpha", 1)
+	tb.AddRow("b", 2.5)
+	out := tb.String()
+	if !strings.HasPrefix(out, "# caption\n") {
+		t.Fatalf("missing caption:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // caption, header, separator, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "name") || !strings.Contains(lines[1], "value") {
+		t.Fatalf("header malformed: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "----") {
+		t.Fatalf("separator malformed: %q", lines[2])
+	}
+	if !strings.Contains(out, "2.5") {
+		t.Fatal("float cell lost")
+	}
+}
+
+func TestFloatTrimming(t *testing.T) {
+	tb := New("", "v")
+	tb.AddRow(1.0)
+	tb.AddRow(0.125)
+	tb.AddRow(float32(2.5))
+	out := tb.String()
+	if strings.Contains(out, "1.000") {
+		t.Fatal("trailing zeros not trimmed")
+	}
+	if !strings.Contains(out, "0.125") || !strings.Contains(out, "2.5") {
+		t.Fatalf("values lost:\n%s", out)
+	}
+}
+
+func TestColumnsAligned(t *testing.T) {
+	tb := New("", "a", "b")
+	tb.AddRow("longvalue", "x")
+	tb.AddRow("s", "y")
+	lines := strings.Split(strings.TrimRight(tb.String(), "\n"), "\n")
+	// The second column must start at the same offset in every row.
+	idx := strings.Index(lines[2], "x")
+	if strings.Index(lines[3], "y") != idx {
+		t.Fatalf("columns misaligned:\n%s", tb.String())
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := New("", "a", "b")
+	tb.AddRow("plain", `quo"ted`)
+	tb.AddRow("with,comma", "z")
+	out := tb.CSV()
+	want := "a,b\nplain,\"quo\"\"ted\"\n\"with,comma\",z\n"
+	if out != want {
+		t.Fatalf("CSV = %q, want %q", out, want)
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	tb := New("cap", "a", "b")
+	tb.AddRow("x|y", 1)
+	out := tb.Markdown()
+	want := "**cap**\n\n| a | b |\n| --- | --- |\n| x\\|y | 1 |\n"
+	if out != want {
+		t.Fatalf("markdown = %q, want %q", out, want)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	s.Add(1, 10)
+	s.Add(2, 20)
+	if len(s.X) != 2 || s.Y[1] != 20 {
+		t.Fatalf("series = %+v", s)
+	}
+}
+
+func TestSeriesTableUnionAndSorting(t *testing.T) {
+	a := Series{Name: "a"}
+	a.Add(3, 30)
+	a.Add(1, 10)
+	b := Series{Name: "b"}
+	b.Add(2, 200)
+	tb := SeriesTable("cap", "t", a, b)
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d, want union of 3 x values", len(tb.Rows))
+	}
+	if tb.Rows[0][0] != "1" || tb.Rows[1][0] != "2" || tb.Rows[2][0] != "3" {
+		t.Fatalf("x column not sorted: %v", tb.Rows)
+	}
+	if tb.Rows[1][1] != "" || tb.Rows[1][2] != "200" {
+		t.Fatalf("missing-point handling broken: %v", tb.Rows[1])
+	}
+	if tb.Header[0] != "t" || tb.Header[1] != "a" || tb.Header[2] != "b" {
+		t.Fatalf("header = %v", tb.Header)
+	}
+}

@@ -1,0 +1,108 @@
+package units
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestBytesString(t *testing.T) {
+	cases := []struct {
+		in   Bytes
+		want string
+	}{
+		{0, "0B"},
+		{512, "512B"},
+		{KiB, "1.00KiB"},
+		{1536, "1.50KiB"},
+		{MiB, "1.00MiB"},
+		{GiB, "1.00GiB"},
+		{3 * GiB / 2, "1.50GiB"},
+		{TiB, "1.00TiB"},
+		{-2 * MiB, "-2.00MiB"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Bytes(%d).String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestPagesRoundsUp(t *testing.T) {
+	cases := []struct {
+		in   Bytes
+		want int64
+	}{
+		{0, 0},
+		{-5, 0},
+		{1, 1},
+		{PageSize, 1},
+		{PageSize + 1, 2},
+		{10 * PageSize, 10},
+	}
+	for _, c := range cases {
+		if got := c.in.Pages(); got != c.want {
+			t.Errorf("Bytes(%d).Pages() = %d, want %d", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestPagesRoundTripProperty(t *testing.T) {
+	// FromPages(b.Pages()) >= b for non-negative sizes, within one page.
+	f := func(n uint32) bool {
+		b := Bytes(n)
+		back := FromPages(b.Pages())
+		return back >= b && back-b < PageSize
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCPUTimeAndDuration(t *testing.T) {
+	c := CPUTime(2*time.Second, 4) // 2s wall on 4 CPUs
+	if c != 8 {
+		t.Fatalf("CPUTime = %v, want 8", c)
+	}
+	if d := c.Duration(4); d != 2*time.Second {
+		t.Fatalf("Duration = %v, want 2s", d)
+	}
+	if d := CPUSeconds(1).Duration(0); d < time.Duration(1)<<60 {
+		t.Fatalf("zero-rate Duration should be enormous, got %v", d)
+	}
+}
+
+func TestClampFamilies(t *testing.T) {
+	if got := Clamp(5, 0, 3); got != 3 {
+		t.Errorf("Clamp high = %v", got)
+	}
+	if got := Clamp(-1, 0, 3); got != 0 {
+		t.Errorf("Clamp low = %v", got)
+	}
+	if got := ClampBytes(5, 1, 3); got != 3 {
+		t.Errorf("ClampBytes high = %v", got)
+	}
+	if got := ClampInt(2, 1, 3); got != 2 {
+		t.Errorf("ClampInt mid = %v", got)
+	}
+	if got := MinBytes(2, 3); got != 2 {
+		t.Errorf("MinBytes = %v", got)
+	}
+	if got := MaxBytes(2, 3); got != 3 {
+		t.Errorf("MaxBytes = %v", got)
+	}
+}
+
+func TestClampProperty(t *testing.T) {
+	f := func(v, a, b int16) bool {
+		lo, hi := int(a), int(b)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		got := ClampInt(int(v), lo, hi)
+		return got >= lo && got <= hi && (got == int(v) || got == lo || got == hi)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,365 @@
+// Package workloads provides the benchmark suite the paper evaluates
+// with: synthetic profiles for DaCapo, SPECjvm2008, HiBench, the NAS
+// Parallel Benchmarks, the §5.3 heap micro-benchmark, plus the sysbench
+// CPU hogs and the background memory hog used to create contention.
+//
+// The profiles are calibrated so the *relationships* the paper measures
+// hold (which benchmarks are GC-bound, allocation-heavy, scalable,
+// memory-hungry), not to reproduce absolute runtimes of the authors'
+// testbed. Each profile documents its shape.
+package workloads
+
+import (
+	"fmt"
+
+	"arv/internal/jvm"
+	"arv/internal/omp"
+	"arv/internal/units"
+)
+
+// DaCapoNames lists the DaCapo benchmarks used across Figs. 2, 6, 7, 8
+// and 11, in the paper's plotting order.
+var DaCapoNames = []string{"h2", "jython", "lusearch", "sunflow", "xalan"}
+
+// DaCapoAllNames additionally includes the rest of the DaCapo 9.12
+// suite, profiled for library users even though the paper's figures do
+// not plot them.
+var DaCapoAllNames = []string{
+	"h2", "jython", "lusearch", "sunflow", "xalan",
+	"avrora", "batik", "eclipse", "fop", "luindex", "pmd", "tomcat", "tradebeans",
+}
+
+// DaCapo returns the profile of one DaCapo benchmark.
+//
+//   - h2: in-memory database; large live set, GC-heavy, poor GC
+//     scalability (big serial fraction), moderately parallel mutator.
+//   - jython: interpreter; mostly single-threaded, small live set.
+//   - lusearch: text search; very parallel, extreme allocation rate,
+//     tiny live set — the classic young-gen stress test.
+//   - sunflow: raytracer; very parallel, high allocation.
+//   - xalan: XSLT; very parallel, high allocation, medium live set.
+func DaCapo(name string) jvm.Workload {
+	switch name {
+	case "h2":
+		return jvm.Workload{
+			Name: "h2", TotalWork: 60, Threads: 8,
+			AllocPerCPUSec: 220 * units.MiB,
+			LiveSet:        300 * units.MiB, MinHeap: 400 * units.MiB, NaturalMax: 880 * units.MiB,
+			SurviveFrac: 0.18, GCSerialFrac: 0.30, SurvivorCap: 32 * units.MiB,
+		}
+	case "jython":
+		return jvm.Workload{
+			Name: "jython", TotalWork: 70, Threads: 2,
+			AllocPerCPUSec: 170 * units.MiB,
+			LiveSet:        80 * units.MiB, MinHeap: 100 * units.MiB, NaturalMax: 420 * units.MiB,
+			SurviveFrac: 0.10, GCSerialFrac: 0.35, SurvivorCap: 8 * units.MiB,
+		}
+	case "lusearch":
+		return jvm.Workload{
+			Name: "lusearch", TotalWork: 16, Threads: 16,
+			AllocPerCPUSec: 700 * units.MiB,
+			LiveSet:        30 * units.MiB, MinHeap: 60 * units.MiB, NaturalMax: 3 * units.GiB,
+			SurviveFrac: 0.06, GCSerialFrac: 0.10, SurvivorCap: 24 * units.MiB,
+		}
+	case "sunflow":
+		return jvm.Workload{
+			Name: "sunflow", TotalWork: 32, Threads: 16,
+			AllocPerCPUSec: 520 * units.MiB,
+			LiveSet:        60 * units.MiB, MinHeap: 90 * units.MiB, NaturalMax: 820 * units.MiB,
+			SurviveFrac: 0.08, GCSerialFrac: 0.12, SurvivorCap: 12 * units.MiB,
+		}
+	case "xalan":
+		return jvm.Workload{
+			Name: "xalan", TotalWork: 26, Threads: 16,
+			AllocPerCPUSec: 620 * units.MiB,
+			LiveSet:        110 * units.MiB, MinHeap: 150 * units.MiB, NaturalMax: 2560 * units.MiB,
+			SurviveFrac: 0.09, GCSerialFrac: 0.15, SurvivorCap: 40 * units.MiB,
+		}
+	// --- the rest of the suite (not plotted by the paper) ---
+	case "avrora":
+		// AVR microcontroller simulation: many tiny threads, low
+		// allocation, synchronization-heavy.
+		return jvm.Workload{
+			Name: "avrora", TotalWork: 40, Threads: 24,
+			AllocPerCPUSec: 60 * units.MiB,
+			LiveSet:        40 * units.MiB, MinHeap: 60 * units.MiB, NaturalMax: 300 * units.MiB,
+			SurviveFrac: 0.05, GCSerialFrac: 0.25, SurvivorCap: 6 * units.MiB,
+		}
+	case "batik":
+		// SVG rendering: single-threaded, moderate allocation.
+		return jvm.Workload{
+			Name: "batik", TotalWork: 20, Threads: 1,
+			AllocPerCPUSec: 180 * units.MiB,
+			LiveSet:        90 * units.MiB, MinHeap: 120 * units.MiB, NaturalMax: 420 * units.MiB,
+			SurviveFrac: 0.10, GCSerialFrac: 0.30, SurvivorCap: 10 * units.MiB,
+		}
+	case "eclipse":
+		// IDE workload: large live set, bursty allocation, poor GC
+		// scalability.
+		return jvm.Workload{
+			Name: "eclipse", TotalWork: 90, Threads: 6,
+			AllocPerCPUSec: 240 * units.MiB,
+			LiveSet:        400 * units.MiB, MinHeap: 500 * units.MiB, NaturalMax: 1100 * units.MiB,
+			SurviveFrac: 0.16, GCSerialFrac: 0.32, SurvivorCap: 36 * units.MiB,
+		}
+	case "fop":
+		// XSL-FO to PDF: single-threaded, short, allocation-light.
+		return jvm.Workload{
+			Name: "fop", TotalWork: 6, Threads: 1,
+			AllocPerCPUSec: 150 * units.MiB,
+			LiveSet:        50 * units.MiB, MinHeap: 70 * units.MiB, NaturalMax: 250 * units.MiB,
+			SurviveFrac: 0.08, GCSerialFrac: 0.30, SurvivorCap: 6 * units.MiB,
+		}
+	case "luindex":
+		// Lucene indexing: single-threaded companion to lusearch.
+		return jvm.Workload{
+			Name: "luindex", TotalWork: 14, Threads: 1,
+			AllocPerCPUSec: 280 * units.MiB,
+			LiveSet:        30 * units.MiB, MinHeap: 50 * units.MiB, NaturalMax: 300 * units.MiB,
+			SurviveFrac: 0.05, GCSerialFrac: 0.20, SurvivorCap: 5 * units.MiB,
+		}
+	case "pmd":
+		// Source-code analysis: moderately parallel, churny.
+		return jvm.Workload{
+			Name: "pmd", TotalWork: 30, Threads: 8,
+			AllocPerCPUSec: 320 * units.MiB,
+			LiveSet:        140 * units.MiB, MinHeap: 190 * units.MiB, NaturalMax: 700 * units.MiB,
+			SurviveFrac: 0.10, GCSerialFrac: 0.22, SurvivorCap: 18 * units.MiB,
+		}
+	case "tomcat":
+		// Servlet container: request-parallel, steady allocation.
+		return jvm.Workload{
+			Name: "tomcat", TotalWork: 45, Threads: 16,
+			AllocPerCPUSec: 300 * units.MiB,
+			LiveSet:        120 * units.MiB, MinHeap: 160 * units.MiB, NaturalMax: 650 * units.MiB,
+			SurviveFrac: 0.08, GCSerialFrac: 0.18, SurvivorCap: 16 * units.MiB,
+		}
+	case "tradebeans":
+		// DayTrader on EJB: transaction-parallel, large-ish live set.
+		return jvm.Workload{
+			Name: "tradebeans", TotalWork: 70, Threads: 12,
+			AllocPerCPUSec: 260 * units.MiB,
+			LiveSet:        350 * units.MiB, MinHeap: 450 * units.MiB, NaturalMax: 1000 * units.MiB,
+			SurviveFrac: 0.14, GCSerialFrac: 0.26, SurvivorCap: 30 * units.MiB,
+		}
+	default:
+		panic("workloads: unknown DaCapo benchmark " + name)
+	}
+}
+
+// SPECjvmNames lists the SPECjvm2008 benchmarks of Fig. 6(b).
+var SPECjvmNames = []string{"c.compiler", "derby", "mpegaudio", "xml.validation", "xml.transform"}
+
+// SPECjvmAllNames additionally includes the rest of the SPECjvm2008
+// suite's commonly run groups.
+var SPECjvmAllNames = []string{
+	"c.compiler", "derby", "mpegaudio", "xml.validation", "xml.transform",
+	"compress", "crypto", "scimark", "serial",
+}
+
+// SPECjvm returns the profile of one SPECjvm2008 benchmark. SPECjvm is a
+// throughput suite: the harness reports operations per unit time, which
+// the experiments derive from the completion time of a fixed operation
+// count.
+func SPECjvm(name string) jvm.Workload {
+	switch name {
+	case "c.compiler":
+		return jvm.Workload{
+			Name: "c.compiler", TotalWork: 55, Threads: 16,
+			AllocPerCPUSec: 110 * units.MiB,
+			LiveSet:        200 * units.MiB, MinHeap: 280 * units.MiB, NaturalMax: 840 * units.MiB,
+			SurviveFrac: 0.10, GCSerialFrac: 0.20,
+		}
+	case "derby":
+		return jvm.Workload{
+			Name: "derby", TotalWork: 60, Threads: 16,
+			AllocPerCPUSec: 140 * units.MiB,
+			LiveSet:        350 * units.MiB, MinHeap: 450 * units.MiB, NaturalMax: 1350 * units.MiB,
+			SurviveFrac: 0.12, GCSerialFrac: 0.25,
+		}
+	case "mpegaudio":
+		return jvm.Workload{
+			Name: "mpegaudio", TotalWork: 45, Threads: 16,
+			AllocPerCPUSec: 40 * units.MiB, // compute-bound, little GC
+			LiveSet:        30 * units.MiB, MinHeap: 50 * units.MiB, NaturalMax: 150 * units.MiB,
+			SurviveFrac: 0.05, GCSerialFrac: 0.15,
+		}
+	case "xml.validation":
+		return jvm.Workload{
+			Name: "xml.validation", TotalWork: 50, Threads: 16,
+			AllocPerCPUSec: 130 * units.MiB,
+			LiveSet:        150 * units.MiB, MinHeap: 200 * units.MiB, NaturalMax: 600 * units.MiB,
+			SurviveFrac: 0.08, GCSerialFrac: 0.18,
+		}
+	case "xml.transform":
+		return jvm.Workload{
+			Name: "xml.transform", TotalWork: 52, Threads: 16,
+			AllocPerCPUSec: 150 * units.MiB,
+			LiveSet:        180 * units.MiB, MinHeap: 240 * units.MiB, NaturalMax: 720 * units.MiB,
+			SurviveFrac: 0.09, GCSerialFrac: 0.18,
+		}
+	// --- the rest of the suite (not plotted by the paper) ---
+	case "compress":
+		// LZW compression: compute-bound, tiny live set.
+		return jvm.Workload{
+			Name: "compress", TotalWork: 48, Threads: 16,
+			AllocPerCPUSec: 30 * units.MiB,
+			LiveSet:        20 * units.MiB, MinHeap: 40 * units.MiB, NaturalMax: 120 * units.MiB,
+			SurviveFrac: 0.04, GCSerialFrac: 0.15, SurvivorCap: 3 * units.MiB,
+		}
+	case "crypto":
+		// AES/RSA/sign: compute-bound with buffer churn.
+		return jvm.Workload{
+			Name: "crypto", TotalWork: 50, Threads: 16,
+			AllocPerCPUSec: 80 * units.MiB,
+			LiveSet:        40 * units.MiB, MinHeap: 70 * units.MiB, NaturalMax: 200 * units.MiB,
+			SurviveFrac: 0.05, GCSerialFrac: 0.15, SurvivorCap: 5 * units.MiB,
+		}
+	case "scimark":
+		// FFT/LU/SOR kernels: numeric, nearly allocation-free.
+		return jvm.Workload{
+			Name: "scimark", TotalWork: 60, Threads: 16,
+			AllocPerCPUSec: 15 * units.MiB,
+			LiveSet:        60 * units.MiB, MinHeap: 90 * units.MiB, NaturalMax: 180 * units.MiB,
+			SurviveFrac: 0.03, GCSerialFrac: 0.12, SurvivorCap: 4 * units.MiB,
+		}
+	case "serial":
+		// Java serialization: heavy transient allocation.
+		return jvm.Workload{
+			Name: "serial", TotalWork: 44, Threads: 16,
+			AllocPerCPUSec: 420 * units.MiB,
+			LiveSet:        110 * units.MiB, MinHeap: 150 * units.MiB, NaturalMax: 560 * units.MiB,
+			SurviveFrac: 0.09, GCSerialFrac: 0.18, SurvivorCap: 14 * units.MiB,
+		}
+	default:
+		panic("workloads: unknown SPECjvm benchmark " + name)
+	}
+}
+
+// HiBenchNames lists the big-data applications of Fig. 9.
+var HiBenchNames = []string{"nweight", "als", "kmeans", "pagerank"}
+
+// HiBench returns the profile of one HiBench Spark-style application:
+// long-running, heavily multi-threaded, with multi-gigabyte live sets —
+// the workloads "require much larger heap sizes" (§5.2) and benefit from
+// GC parallelism at scale.
+func HiBench(name string) jvm.Workload {
+	switch name {
+	case "nweight":
+		return jvm.Workload{
+			Name: "nweight", TotalWork: 240, Threads: 20,
+			AllocPerCPUSec: 800 * units.MiB,
+			LiveSet:        5 * units.GiB, MinHeap: 6 * units.GiB, NaturalMax: 12 * units.GiB,
+			SurviveFrac: 0.10, GCSerialFrac: 0.10,
+		}
+	case "als":
+		return jvm.Workload{
+			Name: "als", TotalWork: 200, Threads: 20,
+			AllocPerCPUSec: 680 * units.MiB,
+			LiveSet:        4 * units.GiB, MinHeap: 5 * units.GiB, NaturalMax: 10 * units.GiB,
+			SurviveFrac: 0.09, GCSerialFrac: 0.12,
+		}
+	case "kmeans":
+		return jvm.Workload{
+			Name: "kmeans", TotalWork: 180, Threads: 20,
+			AllocPerCPUSec: 560 * units.MiB,
+			LiveSet:        3 * units.GiB, MinHeap: 4 * units.GiB, NaturalMax: 8 * units.GiB,
+			SurviveFrac: 0.08, GCSerialFrac: 0.12, SurvivorCap: 12 * units.MiB,
+		}
+	case "pagerank":
+		return jvm.Workload{
+			Name: "pagerank", TotalWork: 220, Threads: 20,
+			AllocPerCPUSec: 880 * units.MiB,
+			LiveSet:        6 * units.GiB, MinHeap: 7 * units.GiB, NaturalMax: 14 * units.GiB,
+			SurviveFrac: 0.11, GCSerialFrac: 0.10,
+		}
+	default:
+		panic("workloads: unknown HiBench application " + name)
+	}
+}
+
+// MicroBench is the §5.3 micro-benchmark: 40,000 iterations, each
+// allocating 1 MiB and freeing 512 KiB, yielding a 20 GiB working set
+// while touching 40 GiB. Half of every allocated byte stays live
+// forever, so the heap must keep growing.
+func MicroBench() jvm.Workload {
+	return jvm.Workload{
+		Name:      "microbench",
+		TotalWork: 800, Threads: 1,
+		AllocPerCPUSec:      50 * units.MiB, // 40000 MiB over 800 CPU-s
+		LiveSet:             20 * units.GiB,
+		LiveFracOfAllocated: 0.5,
+		MinHeap:             512 * units.MiB,
+		SurviveFrac:         0.5, // the permanently-live half
+		GCSerialFrac:        0.15,
+	}
+}
+
+// NPBNames lists the NAS Parallel Benchmarks of Fig. 10, in the paper's
+// plotting order.
+var NPBNames = []string{"is", "ep", "cg", "mg", "ft", "ua", "bt", "sp", "lu"}
+
+// NPB returns the kernel profile of one NAS Parallel Benchmark. Gamma
+// encodes how badly the kernel's synchronization structure tolerates
+// time-slicing (ep is embarrassingly parallel; cg/mg/ua/lu synchronize
+// constantly); SerialFrac is the Amdahl fraction.
+func NPB(name string) omp.Kernel {
+	k := omp.Kernel{Name: name, SpawnCost: 0.002, ResizeCost: 0.05}
+	switch name {
+	case "is":
+		k.Regions, k.WorkPerRegion, k.SerialFrac, k.Gamma = 10, 3.2, 0.06, 0.45
+	case "ep":
+		k.Regions, k.WorkPerRegion, k.SerialFrac, k.Gamma = 6, 10.0, 0.01, 0.15
+	case "cg":
+		k.Regions, k.WorkPerRegion, k.SerialFrac, k.Gamma = 15, 5.0, 0.05, 0.70
+	case "mg":
+		k.Regions, k.WorkPerRegion, k.SerialFrac, k.Gamma = 12, 5.5, 0.06, 0.60
+	case "ft":
+		k.Regions, k.WorkPerRegion, k.SerialFrac, k.Gamma = 8, 8.0, 0.03, 0.50
+	case "ua":
+		k.Regions, k.WorkPerRegion, k.SerialFrac, k.Gamma = 18, 4.5, 0.07, 0.75
+	case "bt":
+		k.Regions, k.WorkPerRegion, k.SerialFrac, k.Gamma = 12, 10.0, 0.04, 0.55
+	case "sp":
+		k.Regions, k.WorkPerRegion, k.SerialFrac, k.Gamma = 14, 8.0, 0.05, 0.60
+	case "lu":
+		k.Regions, k.WorkPerRegion, k.SerialFrac, k.Gamma = 16, 7.5, 0.06, 0.65
+	default:
+		panic("workloads: unknown NPB kernel " + name)
+	}
+	return k
+}
+
+// NPBByName resolves an NPB kernel by name, with an error instead of a
+// panic for unknown names (for interactive callers).
+func NPBByName(name string) (omp.Kernel, error) {
+	for _, n := range NPBNames {
+		if n == name {
+			return NPB(n), nil
+		}
+	}
+	return omp.Kernel{}, fmt.Errorf("workloads: unknown NPB kernel %q", name)
+}
+
+// JVMByName resolves any JVM workload by name across the suites.
+func JVMByName(name string) (jvm.Workload, error) {
+	for _, n := range DaCapoAllNames {
+		if n == name {
+			return DaCapo(n), nil
+		}
+	}
+	for _, n := range SPECjvmAllNames {
+		if n == name {
+			return SPECjvm(n), nil
+		}
+	}
+	for _, n := range HiBenchNames {
+		if n == name {
+			return HiBench(n), nil
+		}
+	}
+	if name == "microbench" {
+		return MicroBench(), nil
+	}
+	return jvm.Workload{}, fmt.Errorf("workloads: unknown JVM workload %q", name)
+}
