@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: build vet test race bench golden ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run xxx -bench . -benchtime=1x .
+
+# Rewrite testdata/golden after an intentional model change.
+golden:
+	$(GO) test -run TestExperimentsMatchGolden -update-golden .
+
+ci: build vet race

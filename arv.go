@@ -40,6 +40,7 @@ import (
 	"arv/internal/omp"
 	"arv/internal/sysfs"
 	"arv/internal/sysns"
+	"arv/internal/telemetry"
 	"arv/internal/units"
 	"arv/internal/webserver"
 	"arv/internal/workloads"
@@ -72,6 +73,41 @@ func NewHost(cfg HostConfig) *Host { return host.New(cfg) }
 // Program is anything the host advances each tick (JVMs, OpenMP
 // processes, load generators).
 type Program = host.Program
+
+// WakePolicy is the optional Program extension that lets the kernel
+// fast-forward across a program's sleeps: NextWake names the next
+// instant the program needs a Poll even though none of its tasks ran.
+type WakePolicy = host.WakePolicy
+
+// Tracer is the structured trace/counter sink attached with
+// Host.EnableTelemetry; TraceEvent is one recorded event.
+type (
+	Tracer       = telemetry.Tracer
+	TraceEvent   = telemetry.Event
+	TraceKind    = telemetry.Kind
+	TraceCounter = telemetry.Counter
+)
+
+// Re-exported trace event kinds and counters.
+const (
+	TraceFastForward   = telemetry.KindFastForward
+	TraceThrottle      = telemetry.KindThrottle
+	TraceUnthrottle    = telemetry.KindUnthrottle
+	TraceKswapd        = telemetry.KindKswapd
+	TraceDirectReclaim = telemetry.KindDirectReclaim
+	TraceOOMKill       = telemetry.KindOOMKill
+	TraceNSUpdate      = telemetry.KindNSUpdate
+
+	CtrSteps          = telemetry.CtrSteps
+	CtrFastForwards   = telemetry.CtrFastForwards
+	CtrSkippedTicks   = telemetry.CtrSkippedTicks
+	CtrProgramPolls   = telemetry.CtrProgramPolls
+	CtrSchedTicks     = telemetry.CtrSchedTicks
+	CtrNSUpdates      = telemetry.CtrNSUpdates
+	CtrKswapdRuns     = telemetry.CtrKswapdRuns
+	CtrDirectReclaims = telemetry.CtrDirectReclaims
+	CtrOOMKills       = telemetry.CtrOOMKills
+)
 
 // ContainerSpec describes a container's resources (shares, quota,
 // cpuset, memory limits) as given to `docker run`.

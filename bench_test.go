@@ -18,6 +18,7 @@ import (
 	"arv/internal/experiments"
 	"arv/internal/host"
 	"arv/internal/jvm"
+	"arv/internal/sim"
 	"arv/internal/sysns"
 	"arv/internal/units"
 	"arv/internal/workloads"
@@ -140,6 +141,61 @@ func BenchmarkSchedulerTick(b *testing.B) {
 		h.Sched.Tick(h.Now(), time.Millisecond)
 	}
 }
+
+// --- kernel loop: dense stepping vs idle-span fast-forward ---
+
+// daemon is a mostly-sleeping background program (cron, a health
+// checker): it wakes on a fixed period, does nothing measurable, and
+// advertises its next wake so the kernel can skip the sleep.
+type daemon struct {
+	period time.Duration
+	next   sim.Time
+}
+
+func (d *daemon) Poll(now sim.Time) {
+	if now >= d.next {
+		d.next = now + sim.Time(d.period)
+	}
+}
+func (d *daemon) Done() bool                             { return false }
+func (d *daemon) NextWake(now sim.Time) (sim.Time, bool) { return d.next, true }
+
+// kernelScenario is the idle-heavy multitenant configuration: ten
+// containers with attached namespaces, each hosting a daemon that wakes
+// every 250ms, and no runnable tasks in between.
+func kernelScenario(disableFF bool) *host.Host {
+	h := host.New(host.Config{
+		CPUs: 20, Memory: 128 * units.GiB, Seed: 1,
+		DisableFastForward: disableFF,
+	})
+	for i := 0; i < 10; i++ {
+		c := h.Runtime.Create(container.Spec{Name: fmt.Sprintf("c%d", i)})
+		c.Exec("daemon")
+		h.AddProgram(&daemon{period: 250 * time.Millisecond})
+	}
+	return h
+}
+
+func benchKernel(b *testing.B, disableFF bool) {
+	const simSpan = 10 * time.Second
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		h := kernelScenario(disableFF)
+		b.StartTimer()
+		h.Run(simSpan)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/simSpan.Seconds(), "ns/sim-s")
+}
+
+// BenchmarkKernelIdle measures wall-clock cost per simulated second on
+// the idle-heavy scenario with fast-forwarding (the default).
+func BenchmarkKernelIdle(b *testing.B) { benchKernel(b, false) }
+
+// BenchmarkKernelDense is the same scenario forced dense — the seed
+// kernel's behavior — for the speedup comparison.
+func BenchmarkKernelDense(b *testing.B) { benchKernel(b, true) }
 
 // --- ablations (design choices called out in DESIGN.md §6) ---
 

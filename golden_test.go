@@ -1,0 +1,53 @@
+package arv_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"arv/internal/experiments"
+)
+
+var updateGolden = flag.Bool("update-golden", false,
+	"rewrite testdata/golden from the current code instead of comparing")
+
+// TestExperimentsMatchGolden locks every registered experiment's
+// rendered output to the checked-in goldens, captured from the dense
+// fixed-tick kernel before the event-driven refactor. The experiments
+// run with idle-span fast-forwarding enabled (the default), so this is
+// the end-to-end proof that fast-forwarding is bit-identical to dense
+// stepping: one float or one tick of divergence anywhere in the
+// scheduler, memory controller, or namespace algorithms changes the
+// rendered tables.
+//
+// Regenerate (after an intentional model change) with:
+//
+//	go test -run TestExperimentsMatchGolden -update-golden .
+func TestExperimentsMatchGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden sweep runs every experiment; skipped in -short")
+	}
+	dir := filepath.Join("testdata", "golden")
+	for _, e := range experiments.All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			got := e.Run(experiments.Options{Scale: 0.25}).String()
+			path := filepath.Join(dir, e.ID+".golden")
+			if *updateGolden {
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update-golden): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("output diverged from golden %s\n--- golden ---\n%s\n--- got ---\n%s",
+					path, want, got)
+			}
+		})
+	}
+}

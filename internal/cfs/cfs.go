@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"arv/internal/sim"
+	"arv/internal/telemetry"
 	"arv/internal/units"
 )
 
@@ -103,6 +104,7 @@ type Group struct {
 	windowUsage  units.CPUSeconds // since last TakeWindowUsage
 	throttledDur time.Duration    // wall time with the quota cap binding
 	lastRate     float64          // group rate in the most recent tick
+	throttledNow bool             // bandwidth limit binding in the most recent tick
 
 	removed bool
 }
@@ -146,6 +148,10 @@ func (g *Group) ThrottledTime() time.Duration { return g.throttledDur }
 // recent tick.
 func (g *Group) LastRate() float64 { return g.lastRate }
 
+// Throttled reports whether a bandwidth limit (the group's own, or its
+// parent's) capped the group's allocation in the most recent tick.
+func (g *Group) Throttled() bool { return g.throttledNow }
+
 // RunnableTasks returns the number of currently runnable tasks.
 func (g *Group) RunnableTasks() int {
 	n := 0
@@ -166,6 +172,10 @@ type Scheduler struct {
 	groups []*Group
 	nextID int
 
+	// Trace, when non-nil, receives throttle/unthrottle events and the
+	// scheduler tick counter. Nil (the default) costs nothing.
+	Trace *telemetry.Tracer
+
 	// LoadAvgTau is the time constant of the exponentially weighted
 	// load average the "dynamic" OpenMP strategy reads. Linux's
 	// getloadavg horizon is one minute; simulated workloads compress
@@ -178,6 +188,7 @@ type Scheduler struct {
 	slackWindow   units.CPUSeconds // unused capacity since last TakeWindowSlack
 	slackLast     float64          // unused CPUs in the most recent tick
 	totalRunnable int              // runnable tasks in the most recent tick
+	runnableNow   int              // live runnable-task count (kept by SetRunnable)
 	ticks         uint64
 
 	// scratch buffers reused across ticks to avoid per-tick allocation
@@ -269,6 +280,9 @@ func (s *Scheduler) RemoveGroup(g *Group) {
 	g.removed = true
 	for _, t := range g.tasks {
 		t.removed = true
+		if t.runnable {
+			s.runnableNow--
+		}
 		t.runnable = false
 	}
 	g.tasks = nil
@@ -308,6 +322,9 @@ func (s *Scheduler) NewTask(g *Group, name string) *Task {
 // RemoveTask removes a task from its group.
 func (s *Scheduler) RemoveTask(t *Task) {
 	t.removed = true
+	if t.runnable {
+		s.runnableNow--
+	}
 	t.runnable = false
 	g := t.group
 	for i, x := range g.tasks {
@@ -323,8 +340,22 @@ func (s *Scheduler) SetRunnable(t *Task, runnable bool) {
 	if t.removed && runnable {
 		panic("cfs: waking removed task " + t.Name)
 	}
+	if t.runnable == runnable {
+		return
+	}
 	t.runnable = runnable
+	if runnable {
+		s.runnableNow++
+	} else {
+		s.runnableNow--
+	}
 }
+
+// RunnableNow returns the live count of runnable tasks — unlike
+// TotalRunnable it reflects wake-ups and blocks made since the last
+// tick. The host kernel's fast-forward gate reads it every step, so it
+// is maintained incrementally rather than scanned.
+func (s *Scheduler) RunnableNow() int { return s.runnableNow }
 
 // SchedPeriod returns the CFS scheduling period for the current number of
 // runnable tasks: 24 ms when there are at most 8, otherwise
@@ -381,6 +412,7 @@ func waterfill(groups []*Group, caps, alloc []float64, active []int, capacity fl
 // simulation tick by the host.
 func (s *Scheduler) Tick(now sim.Time, dt time.Duration) {
 	s.ticks++
+	s.Trace.Add(telemetry.CtrSchedTicks, 1)
 	dtSec := dt.Seconds()
 
 	n := len(s.groups)
@@ -461,17 +493,21 @@ func (s *Scheduler) Tick(now sim.Time, dt time.Duration) {
 		g.lastRate = rate
 		if len(g.children) > 0 {
 			// Parent accounting only; its children execute the tasks.
+			thr := false
 			if rate > 0 {
 				raw := units.CPUSeconds(rate * dtSec)
 				g.usage += raw
 				g.windowUsage += raw
 				if lim := g.CPULimit(); !math.IsInf(lim, 1) && rate >= lim-1e-9 {
 					g.throttledDur += dt
+					thr = true
 				}
 			}
+			s.noteThrottle(now, g, thr, rate)
 			continue
 		}
 		if rate <= 0 {
+			s.noteThrottle(now, g, false, 0)
 			continue
 		}
 		used += rate
@@ -489,6 +525,7 @@ func (s *Scheduler) Tick(now sim.Time, dt time.Duration) {
 				throttled = true
 			}
 		}
+		s.noteThrottle(now, g, throttled, rate)
 		// Linux dequeues a bandwidth-throttled group for the rest of
 		// its period, so its excess tasks do not appear in the load
 		// average: a 20-thread container pinned to a 4-CPU quota
@@ -549,4 +586,87 @@ func (s *Scheduler) Tick(now sim.Time, dt time.Duration) {
 		}
 		s.loadAvg += (loadContribution - s.loadAvg) * a
 	}
+}
+
+// noteThrottle updates a group's throttled flag for this tick and emits
+// a transition event when tracing is on.
+func (s *Scheduler) noteThrottle(now sim.Time, g *Group, throttled bool, rate float64) {
+	if g.throttledNow == throttled {
+		return
+	}
+	g.throttledNow = throttled
+	if s.Trace.Enabled() {
+		s.emitThrottle(now, g, throttled, rate)
+	}
+}
+
+func (s *Scheduler) emitThrottle(now sim.Time, g *Group, throttled bool, rate float64) {
+	kind := telemetry.KindUnthrottle
+	if throttled {
+		kind = telemetry.KindThrottle
+	}
+	s.Trace.Emit(now, kind, g.Name, int64(rate*1000), 0)
+}
+
+// SkipIdle advances the scheduler across n consecutive ticks of length
+// dt during which no task is runnable, replaying exactly the per-tick
+// accounting Tick would have performed on an idle host: the tick count,
+// zero rates, full-capacity slack accumulation, and the load-average
+// decay (iterated per tick so results stay bit-identical with dense
+// stepping). now is the end of the first skipped tick, matching Tick's
+// convention. The caller — the host kernel's fast-forward phase —
+// guarantees the span is idle: no runnable tasks, and no timer or
+// program wake that could change scheduler state mid-span.
+func (s *Scheduler) SkipIdle(now sim.Time, dt time.Duration, n int) {
+	if n <= 0 {
+		return
+	}
+	if s.runnableNow != 0 {
+		panic(fmt.Sprintf("cfs: SkipIdle with %d runnable tasks", s.runnableNow))
+	}
+	s.ticks += uint64(n)
+	s.totalRunnable = 0
+	for _, g := range s.groups {
+		g.lastRate = 0
+		s.noteThrottle(now, g, false, 0)
+	}
+	dtSec := dt.Seconds()
+	slack := float64(s.ncpu)
+	s.slackLast = slack
+	add := units.CPUSeconds(slack * dtSec)
+	decay := s.LoadAvgTau > 0
+	a := 0.0
+	if decay {
+		a = dtSec / s.LoadAvgTau.Seconds()
+		if a > 1 {
+			a = 1
+		}
+	}
+	for i := 0; i < n; i++ {
+		s.slackWindow += add
+		if decay {
+			s.loadAvg += (0 - s.loadAvg) * a
+		}
+	}
+}
+
+// NextEvent reports the scheduler's next self-scheduled instant: the
+// earliest cfs_period_us boundary among groups whose bandwidth limit was
+// binding in the most recent tick (their quota refreshes there, which is
+// when throttling can end). ok is false when no group is throttled — an
+// idle scheduler stays idle until a timer or program wakes a task.
+func (s *Scheduler) NextEvent(now sim.Time) (sim.Time, bool) {
+	var best sim.Time
+	have := false
+	for _, g := range s.groups {
+		if !g.throttledNow || g.PeriodUS <= 0 {
+			continue
+		}
+		period := time.Duration(g.PeriodUS) * time.Microsecond
+		next := now - now%period + period
+		if !have || next < best {
+			best, have = next, true
+		}
+	}
+	return best, have
 }

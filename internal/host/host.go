@@ -1,7 +1,31 @@
 // Package host assembles the simulated machine: virtual clock, CFS
 // scheduler, memory controller, cgroup hierarchy, ns_monitor, virtual
-// sysfs resolver, and the container runtime. It drives the per-tick loop
-// that everything else hangs off.
+// sysfs resolver, and the container runtime. It drives the event-driven
+// kernel loop that everything else hangs off.
+//
+// # Kernel loop
+//
+// Each Step runs a fixed phase pipeline:
+//
+//	schedule → clock/timers → programs → observe
+//
+// The schedule phase distributes CPU and advances task work for the
+// tick; the clock phase moves virtual time forward and fires due timers
+// (sys_namespace updates among them); the program phase polls live
+// programs and compacts finished ones out of the program list; the
+// observe phase records kernel-level telemetry.
+//
+// On top of dense stepping the kernel fast-forwards across provably
+// idle spans: when no task is runnable and every live program has
+// declared a wake policy, the kernel computes the next interesting
+// instant — earliest timer deadline, scheduler event (quota-period
+// boundary of a throttled group), memory event (swap-device drain), or
+// program wake — replays the idle per-tick scheduler accounting in one
+// call (cfs.SkipIdle), and jumps the clock to one tick before that
+// instant. The interesting tick itself always executes densely, so
+// timers, throttle transitions, and program wakes land on exactly the
+// tick boundaries dense stepping would produce, keeping histories
+// bit-identical.
 package host
 
 import (
@@ -14,6 +38,7 @@ import (
 	"arv/internal/sim"
 	"arv/internal/sysfs"
 	"arv/internal/sysns"
+	"arv/internal/telemetry"
 	"arv/internal/units"
 )
 
@@ -26,6 +51,18 @@ type Program interface {
 	Poll(now sim.Time)
 	// Done reports whether the program has finished (or died).
 	Done() bool
+}
+
+// WakePolicy is the optional Program extension that makes a program
+// eligible for fast-forwarding. NextWake returns the next instant the
+// program needs a Poll even though none of its tasks ran; ok=false
+// means the program is purely event-driven (its Polls are no-ops while
+// its tasks are off-CPU). The contract: if NextWake(now) returns
+// (t, true), then every Poll in (now, t) would be a no-op provided no
+// task of the program runs in that span. Programs that cannot promise
+// this simply do not implement the interface and keep the kernel dense.
+type WakePolicy interface {
+	NextWake(now sim.Time) (sim.Time, bool)
 }
 
 // Config sizes a Host. Zero fields select the defaults noted inline.
@@ -45,6 +82,11 @@ type Config struct {
 
 	// Seed seeds the host's deterministic RNG.
 	Seed uint64
+
+	// DisableFastForward forces dense per-tick stepping even across
+	// provably idle spans. Results are bit-identical either way; this
+	// exists for A/B determinism tests and benchmarking.
+	DisableFastForward bool
 }
 
 // Host is the simulated machine.
@@ -58,8 +100,13 @@ type Host struct {
 	Runtime  *container.Runtime
 	RNG      *sim.RNG
 
-	tick     time.Duration
-	programs []Program
+	// Trace receives kernel-level events and counters once
+	// EnableTelemetry is called; nil (the default) costs nothing.
+	Trace *telemetry.Tracer
+
+	tick        time.Duration
+	programs    []Program
+	fastForward bool
 }
 
 // New builds a host from cfg and starts the ns_monitor update timer.
@@ -81,15 +128,16 @@ func New(cfg Config) *Host {
 	rt := container.NewRuntime(hier, mon, resolver)
 
 	h := &Host{
-		Clock:    clock,
-		Sched:    sched,
-		Mem:      mem,
-		Cgroups:  hier,
-		Monitor:  mon,
-		Resolver: resolver,
-		Runtime:  rt,
-		RNG:      sim.NewRNG(cfg.Seed),
-		tick:     tick,
+		Clock:       clock,
+		Sched:       sched,
+		Mem:         mem,
+		Cgroups:     hier,
+		Monitor:     mon,
+		Resolver:    resolver,
+		Runtime:     rt,
+		RNG:         sim.NewRNG(cfg.Seed),
+		tick:        tick,
+		fastForward: !cfg.DisableFastForward,
 	}
 	mon.Start()
 	return h
@@ -101,34 +149,170 @@ func (h *Host) Tick() time.Duration { return h.tick }
 // Now returns the current virtual time.
 func (h *Host) Now() sim.Time { return h.Clock.Now() }
 
-// AddProgram registers a program for per-tick polling.
+// AddProgram registers a program for per-tick polling. Finished
+// programs are compacted out of the list by the program phase.
 func (h *Host) AddProgram(p Program) { h.programs = append(h.programs, p) }
 
-// Step advances the simulation by one tick: the scheduler distributes
-// CPU and advances task work; the clock moves forward and fires timers
-// (sys_namespace updates among them); finally every live program's
-// control logic runs.
+// Programs returns the number of registered, not-yet-compacted
+// programs.
+func (h *Host) Programs() int { return len(h.programs) }
+
+// SetFastForward toggles idle-span fast-forwarding at runtime.
+func (h *Host) SetFastForward(enabled bool) { h.fastForward = enabled }
+
+// EnableTelemetry attaches a fresh tracer (ring capacity ringSize;
+// telemetry.DefaultRingSize if <= 0) to the host and its subsystems and
+// returns it.
+func (h *Host) EnableTelemetry(ringSize int) *telemetry.Tracer {
+	tr := telemetry.New(ringSize)
+	h.Trace = tr
+	h.Sched.Trace = tr
+	h.Mem.Trace = tr
+	h.Monitor.Trace = tr
+	return tr
+}
+
+// Step advances the simulation by one dense tick through the phase
+// pipeline: schedule → clock/timers → programs → observe. It returns
+// the new time.
 func (h *Host) Step() sim.Time {
-	h.Sched.Tick(h.Clock.Now()+h.tick, h.tick)
-	now := h.Clock.Step()
-	for _, p := range h.programs {
-		if !p.Done() {
-			p.Poll(now)
-		}
-	}
+	h.phaseSchedule()
+	now := h.phaseClock()
+	h.phasePrograms(now)
+	h.phaseObserve(now)
 	return now
 }
 
-// Run advances the simulation by d.
+// phaseSchedule runs one scheduler allocation round for the upcoming
+// tick. The scheduler is handed the tick's end time, matching the
+// timestamp programs and timers will observe.
+func (h *Host) phaseSchedule() {
+	h.Sched.Tick(h.Clock.Now()+h.tick, h.tick)
+}
+
+// phaseClock advances virtual time by one tick and fires due timers.
+func (h *Host) phaseClock() sim.Time {
+	return h.Clock.Step()
+}
+
+// phasePrograms polls every live program registered before this phase
+// began (programs added from within a Poll start participating next
+// tick, as before) and compacts finished programs out of the list.
+func (h *Host) phasePrograms(now sim.Time) {
+	n := len(h.programs)
+	w := 0
+	for i := 0; i < n; i++ {
+		p := h.programs[i]
+		if !p.Done() {
+			p.Poll(now)
+			h.Trace.Add(telemetry.CtrProgramPolls, 1)
+		}
+		if !p.Done() {
+			h.programs[w] = p
+			w++
+		}
+	}
+	if w < n {
+		// Keep any programs appended mid-poll, then nil the abandoned
+		// tail so finished programs can be collected.
+		m := len(h.programs)
+		kept := append(h.programs[:w], h.programs[n:m]...)
+		for i := len(kept); i < m; i++ {
+			h.programs[i] = nil
+		}
+		h.programs = kept
+	}
+}
+
+// phaseObserve records kernel-level accounting for the completed tick.
+func (h *Host) phaseObserve(now sim.Time) {
+	h.Trace.Add(telemetry.CtrSteps, 1)
+}
+
+// step advances by one dense tick, first fast-forwarding across the
+// preceding idle span when the kernel can prove it is uneventful. limit
+// bounds the jump (the caller's run deadline).
+func (h *Host) step(limit sim.Time) sim.Time {
+	if h.fastForward {
+		if k := h.idleTicks(limit); k > 0 {
+			h.phaseFastForward(k)
+		}
+	}
+	return h.Step()
+}
+
+// idleTicks returns how many upcoming ticks can be skipped in one jump,
+// or 0 when the host must step densely. A span qualifies only when no
+// task is runnable and every live program has a wake policy; the jump
+// stops one tick short of the earliest interesting instant (timer
+// deadline, scheduler or memory event, program wake, or limit) so that
+// tick runs densely.
+func (h *Host) idleTicks(limit sim.Time) int {
+	if h.Sched.RunnableNow() != 0 {
+		return 0
+	}
+	now := h.Clock.Now()
+	target := limit
+	if d, ok := h.Clock.NextDeadline(); ok && d < target {
+		target = d
+	}
+	if t, ok := h.Sched.NextEvent(now); ok && t < target {
+		target = t
+	}
+	if t, ok := h.Mem.NextEvent(now); ok && t < target {
+		target = t
+	}
+	for _, p := range h.programs {
+		if p.Done() {
+			continue
+		}
+		w, ok := p.(WakePolicy)
+		if !ok {
+			return 0 // unconditional poller: stay dense
+		}
+		if t, tok := w.NextWake(now); tok && t < target {
+			target = t
+		}
+	}
+	if target <= now {
+		return 0
+	}
+	// Round the target up to the tick grid, then stop one tick short.
+	k := int((target-now+h.tick-1)/h.tick) - 1
+	if k <= 0 {
+		return 0
+	}
+	return k
+}
+
+// phaseFastForward replays k idle ticks in one jump: the scheduler
+// replays its idle accounting tick-by-tick (bit-identical with dense
+// stepping) and the clock advances to the end of the span. By
+// construction no timer deadline falls inside the span.
+func (h *Host) phaseFastForward(k int) {
+	now := h.Clock.Now()
+	h.Sched.SkipIdle(now+h.tick, h.tick, k)
+	h.Clock.Advance(now + time.Duration(k)*h.tick)
+	h.Trace.Add(telemetry.CtrFastForwards, 1)
+	h.Trace.Add(telemetry.CtrSkippedTicks, uint64(k))
+	if h.Trace.Enabled() {
+		h.Trace.Emit(h.Clock.Now(), telemetry.KindFastForward, "kernel", int64(k), 0)
+	}
+}
+
+// Run advances the simulation by d, fast-forwarding across idle spans
+// when enabled.
 func (h *Host) Run(d time.Duration) {
 	deadline := h.Clock.Now() + d
 	for h.Clock.Now() < deadline {
-		h.Step()
+		h.step(deadline)
 	}
 }
 
 // RunUntil steps until cond returns true or the timeout elapses; it
-// reports whether cond was met.
+// reports whether cond was met. cond may depend on anything — including
+// raw virtual time — so RunUntil always steps densely and evaluates
+// cond once per tick.
 func (h *Host) RunUntil(cond func() bool, timeout time.Duration) bool {
 	deadline := h.Clock.Now() + timeout
 	for h.Clock.Now() < deadline {
@@ -140,15 +324,26 @@ func (h *Host) RunUntil(cond func() bool, timeout time.Duration) bool {
 	return cond()
 }
 
-// RunUntilDone steps until every registered program reports Done, or the
-// timeout elapses; it reports whether all completed.
+// RunUntilDone steps until every registered program reports Done, or
+// the timeout elapses; it reports whether all completed. Program
+// completion only changes on ticks a program is polled, so idle-span
+// fast-forwarding applies.
 func (h *Host) RunUntilDone(timeout time.Duration) bool {
-	return h.RunUntil(func() bool {
-		for _, p := range h.programs {
-			if !p.Done() {
-				return false
-			}
+	deadline := h.Clock.Now() + timeout
+	for h.Clock.Now() < deadline {
+		if h.allDone() {
+			return true
 		}
-		return true
-	}, timeout)
+		h.step(deadline)
+	}
+	return h.allDone()
+}
+
+func (h *Host) allDone() bool {
+	for _, p := range h.programs {
+		if !p.Done() {
+			return false
+		}
+	}
+	return true
 }

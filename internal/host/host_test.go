@@ -6,6 +6,7 @@ import (
 
 	"arv/internal/container"
 	"arv/internal/sim"
+	"arv/internal/telemetry"
 	"arv/internal/units"
 )
 
@@ -107,5 +108,163 @@ func TestCustomTick(t *testing.T) {
 	h.Step()
 	if h.Now() != 5*time.Millisecond {
 		t.Fatalf("now = %v", h.Now())
+	}
+}
+
+// sleeper wakes on a fixed period and records the tick it woke on; in
+// between, Poll is a no-op, which it advertises through NextWake.
+type sleeper struct {
+	period time.Duration
+	next   sim.Time
+	wakes  []sim.Time
+	done   bool
+}
+
+func (s *sleeper) Poll(now sim.Time) {
+	if now >= s.next {
+		s.wakes = append(s.wakes, now)
+		s.next = now + sim.Time(s.period)
+	}
+}
+func (s *sleeper) Done() bool                             { return s.done }
+func (s *sleeper) NextWake(now sim.Time) (sim.Time, bool) { return s.next, true }
+
+func TestFastForwardSkipsIdleSpans(t *testing.T) {
+	h := newHost()
+	tr := h.EnableTelemetry(0)
+	s := &sleeper{period: 50 * time.Millisecond}
+	h.AddProgram(s)
+	h.Run(time.Second)
+	if h.Now() != time.Second {
+		t.Fatalf("now = %v", h.Now())
+	}
+	skipped := tr.Count(telemetry.CtrSkippedTicks)
+	steps := tr.Count(telemetry.CtrSteps)
+	if skipped == 0 {
+		t.Fatal("idle host never fast-forwarded")
+	}
+	if steps+skipped != 1000 {
+		t.Fatalf("steps(%d) + skipped(%d) != 1000 ticks", steps, skipped)
+	}
+	if steps > 200 {
+		t.Fatalf("dense steps = %d of 1000 ticks; expected most to be skipped", steps)
+	}
+	if tr.Count(telemetry.CtrFastForwards) == 0 || len(tr.EventsOf(telemetry.KindFastForward)) == 0 {
+		t.Fatal("fast-forward jumps not traced")
+	}
+}
+
+func TestFastForwardMatchesDense(t *testing.T) {
+	run := func(ff bool) (*Host, *sleeper) {
+		h := New(Config{CPUs: 4, Memory: 8 * units.GiB, Seed: 7, DisableFastForward: !ff})
+		s := &sleeper{period: 97 * time.Millisecond}
+		h.AddProgram(s)
+		h.Run(2 * time.Second)
+		return h, s
+	}
+	hd, sd := run(false)
+	hf, sf := run(true)
+	if len(sd.wakes) != len(sf.wakes) {
+		t.Fatalf("wake counts differ: dense %d, ff %d", len(sd.wakes), len(sf.wakes))
+	}
+	for i := range sd.wakes {
+		if sd.wakes[i] != sf.wakes[i] {
+			t.Fatalf("wake %d: dense %v, ff %v", i, sd.wakes[i], sf.wakes[i])
+		}
+	}
+	if hd.Sched.LoadAvg() != hf.Sched.LoadAvg() {
+		t.Fatalf("loadavg diverged: dense %v, ff %v", hd.Sched.LoadAvg(), hf.Sched.LoadAvg())
+	}
+	if hd.Sched.TakeWindowSlack() != hf.Sched.TakeWindowSlack() {
+		t.Fatal("slack window diverged")
+	}
+	if hd.Now() != hf.Now() {
+		t.Fatalf("time diverged: %v vs %v", hd.Now(), hf.Now())
+	}
+}
+
+func TestNonWakePolicyProgramKeepsKernelDense(t *testing.T) {
+	h := newHost()
+	tr := h.EnableTelemetry(0)
+	h.AddProgram(&fakeProgram{}) // no NextWake: must be polled every tick
+	h.Run(100 * time.Millisecond)
+	if got := tr.Count(telemetry.CtrSkippedTicks); got != 0 {
+		t.Fatalf("fast-forwarded %d ticks past a wake-less program", got)
+	}
+	if got := tr.Count(telemetry.CtrSteps); got != 100 {
+		t.Fatalf("steps = %d, want 100", got)
+	}
+}
+
+func TestRunnableTaskBlocksFastForward(t *testing.T) {
+	h := newHost()
+	tr := h.EnableTelemetry(0)
+	g := h.Sched.NewGroup("busy")
+	task := h.Sched.NewTask(g, "t")
+	h.Sched.SetRunnable(task, true)
+	h.Run(50 * time.Millisecond)
+	if got := tr.Count(telemetry.CtrSkippedTicks); got != 0 {
+		t.Fatalf("fast-forwarded %d ticks with a runnable task", got)
+	}
+	h.Sched.SetRunnable(task, false)
+	h.Run(50 * time.Millisecond)
+	if tr.Count(telemetry.CtrSkippedTicks) == 0 {
+		t.Fatal("no fast-forward after the task went idle")
+	}
+}
+
+func TestProgramCompaction(t *testing.T) {
+	h := newHost()
+	a := &fakeProgram{stopAt: 3}
+	b := &fakeProgram{stopAt: 7}
+	h.AddProgram(a)
+	h.AddProgram(b)
+	if h.Programs() != 2 {
+		t.Fatalf("Programs = %d", h.Programs())
+	}
+	h.Run(5 * time.Millisecond)
+	if h.Programs() != 1 {
+		t.Fatalf("finished program not compacted: Programs = %d", h.Programs())
+	}
+	h.Run(5 * time.Millisecond)
+	if h.Programs() != 0 {
+		t.Fatalf("Programs = %d after all done", h.Programs())
+	}
+	if a.polls != 3 || b.polls != 7 {
+		t.Fatalf("polls = %d,%d, want 3,7", a.polls, b.polls)
+	}
+}
+
+// spawner registers another program from inside Poll, exercising
+// compaction with a mid-poll append.
+type spawner struct {
+	h     *Host
+	child *fakeProgram
+	done  bool
+}
+
+func (s *spawner) Poll(now sim.Time) {
+	if s.child == nil {
+		s.child = &fakeProgram{stopAt: 4}
+		s.h.AddProgram(s.child)
+	}
+	s.done = true
+}
+func (s *spawner) Done() bool { return s.done }
+
+func TestAddProgramDuringPollSurvivesCompaction(t *testing.T) {
+	h := newHost()
+	s := &spawner{h: h}
+	h.AddProgram(s)
+	h.Step() // spawner registers child and finishes; child not yet polled
+	if h.Programs() != 1 {
+		t.Fatalf("Programs = %d, want just the child", h.Programs())
+	}
+	if s.child.polls != 0 {
+		t.Fatal("mid-poll program polled in the same tick")
+	}
+	h.Run(10 * time.Millisecond)
+	if s.child.polls != 4 || h.Programs() != 0 {
+		t.Fatalf("child polls = %d (want 4), Programs = %d (want 0)", s.child.polls, h.Programs())
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"arv/internal/sim"
+	"arv/internal/telemetry"
 	"arv/internal/units"
 )
 
@@ -30,6 +31,10 @@ type Controller struct {
 	swap *SwapDevice
 
 	groups []*Group
+
+	// Trace, when non-nil, receives kswapd / direct-reclaim / OOM-kill
+	// events. Nil (the default) costs nothing.
+	Trace *telemetry.Tracer
 
 	// stats
 	kswapdRuns     int
@@ -271,13 +276,13 @@ func (c *Controller) Charge(g *Group, n units.Bytes, now sim.Time) (stall time.D
 
 	// Host watermarks: free memory must absorb the allocation.
 	if c.free-n < c.LowWM {
-		traffic += c.kswapd(n)
+		traffic += c.kswapd(n, now)
 	}
 	if c.free-n < c.MinWM {
-		t, oom := c.directReclaim(g, n)
+		t, oom := c.directReclaim(g, n, now)
 		traffic += t
 		if oom {
-			c.oomKill(g)
+			c.oomKill(g, now)
 			return c.stall(traffic, now), false
 		}
 	}
@@ -295,7 +300,7 @@ func (c *Controller) Charge(g *Group, n units.Bytes, now sim.Time) (stall time.D
 		moved, oom := c.swapOut(g, g.resident-g.HardLimit)
 		traffic += moved
 		if oom {
-			c.oomKill(g)
+			c.oomKill(g, now)
 			return c.stall(traffic, now), false
 		}
 	}
@@ -305,7 +310,7 @@ func (c *Controller) Charge(g *Group, n units.Bytes, now sim.Time) (stall time.D
 		moved, oom := c.swapOut(g, p.subtree-p.HardLimit)
 		traffic += moved
 		if oom {
-			c.oomKill(g)
+			c.oomKill(g, now)
 			return c.stall(traffic, now), false
 		}
 	}
@@ -377,8 +382,9 @@ func (c *Controller) Touch(g *Group, n units.Bytes, now sim.Time) (stall time.Du
 // limit until free memory (after an imminent allocation of need bytes)
 // recovers to the high watermark, or no eligible pages remain. It returns
 // the swap-out traffic generated.
-func (c *Controller) kswapd(need units.Bytes) units.Bytes {
+func (c *Controller) kswapd(need units.Bytes, now sim.Time) units.Bytes {
 	c.kswapdRuns++
+	c.Trace.Add(telemetry.CtrKswapdRuns, 1)
 	var traffic units.Bytes
 	for c.free-need < c.HighWM {
 		victim := c.maxOverSoft()
@@ -401,14 +407,26 @@ func (c *Controller) kswapd(need units.Bytes) units.Bytes {
 			break
 		}
 	}
+	if c.Trace.Enabled() {
+		c.Trace.Emit(now, telemetry.KindKswapd, "kswapd", int64(traffic), int64(c.free))
+	}
 	return traffic
 }
 
 // directReclaim indiscriminately swaps out pages from the largest groups
 // (including those under their soft limits) until free memory can absorb
 // the allocation with MinWM intact. It reports OOM if swap is exhausted.
-func (c *Controller) directReclaim(requester *Group, need units.Bytes) (units.Bytes, bool) {
+func (c *Controller) directReclaim(requester *Group, need units.Bytes, now sim.Time) (units.Bytes, bool) {
 	c.directReclaims++
+	c.Trace.Add(telemetry.CtrDirectReclaims, 1)
+	traffic, exhausted := c.directReclaimLoop(need)
+	if c.Trace.Enabled() {
+		c.Trace.Emit(now, telemetry.KindDirectReclaim, requester.Name, int64(traffic), int64(c.free))
+	}
+	return traffic, exhausted
+}
+
+func (c *Controller) directReclaimLoop(need units.Bytes) (units.Bytes, bool) {
 	var traffic units.Bytes
 	for c.free-need < c.MinWM {
 		victim := c.maxResident()
@@ -450,8 +468,12 @@ func (c *Controller) swapOut(g *Group, n units.Bytes) (units.Bytes, bool) {
 	return n, oom
 }
 
-func (c *Controller) oomKill(g *Group) {
+func (c *Controller) oomKill(g *Group, now sim.Time) {
 	c.oomKills++
+	c.Trace.Add(telemetry.CtrOOMKills, 1)
+	if c.Trace.Enabled() {
+		c.Trace.Emit(now, telemetry.KindOOMKill, g.Name, int64(g.resident), int64(g.swapped))
+	}
 	g.oomKilled = true
 	// The kernel frees everything the victim held.
 	c.addResident(g, -g.resident)
@@ -524,6 +546,18 @@ func (c *Controller) maxResident() *Group {
 
 // stall converts swap traffic to I/O wait, queueing behind whatever the
 // shared device is already serving.
+// NextEvent reports the next instant the memory subsystem changes state
+// on its own: the moment the swap device drains its queued traffic.
+// ok is false when the swap device is idle. The host kernel never
+// fast-forwards past this point, so "reclaim in flight" always runs to
+// completion under dense ticks.
+func (c *Controller) NextEvent(now sim.Time) (sim.Time, bool) {
+	if c.swap.busyUntil > now {
+		return c.swap.busyUntil, true
+	}
+	return 0, false
+}
+
 func (c *Controller) stall(traffic units.Bytes, now sim.Time) time.Duration {
 	if traffic <= 0 {
 		return 0

@@ -47,6 +47,28 @@ func (c *Clock) Tick() time.Duration { return c.tick }
 // including for the current instant; those fire within the same Step.
 func (c *Clock) Step() Time {
 	c.now += c.tick
+	c.fireDue()
+	return c.now
+}
+
+// Advance jumps the clock to instant `to` in one step and fires any
+// timer whose deadline falls within the span, in deadline order. Unlike
+// dense stepping, callbacks observe now == to, so Advance is meant for
+// jumping across spans the caller knows to be timer-free: the
+// event-driven host kernel bounds every jump with NextDeadline so the
+// next timer still fires on the same tick boundary it would have under
+// dense Step calls, keeping runs bit-identical.
+func (c *Clock) Advance(to Time) Time {
+	if to < c.now {
+		panic(fmt.Sprintf("sim: Advance to %v before now %v", to, c.now))
+	}
+	c.now = to
+	c.fireDue()
+	return c.now
+}
+
+// fireDue pops and runs every timer due at or before now.
+func (c *Clock) fireDue() {
 	for len(c.timers) > 0 && c.timers[0].when <= c.now {
 		t := heap.Pop(&c.timers).(*timer)
 		if t.cancelled {
@@ -58,7 +80,16 @@ func (c *Clock) Step() Time {
 			heap.Push(&c.timers, t)
 		}
 	}
-	return c.now
+}
+
+// NextDeadline returns the deadline of the earliest pending timer.
+// ok is false when no timer is scheduled. Cancelled timers are removed
+// eagerly by Stop, so the returned deadline is always live.
+func (c *Clock) NextDeadline() (Time, bool) {
+	if len(c.timers) == 0 {
+		return 0, false
+	}
+	return c.timers[0].when, true
 }
 
 // RunUntil steps the clock until now >= deadline.
@@ -71,11 +102,18 @@ func (c *Clock) RunUntil(deadline Time) {
 // Timer is a handle to a scheduled callback.
 type Timer struct{ t *timer }
 
-// Stop cancels the timer. It is safe to call multiple times and from
+// Stop cancels the timer and removes it from the timer queue eagerly
+// (so cancelled timers neither linger until their deadline nor count
+// toward PendingTimers). It is safe to call multiple times and from
 // within the timer's own callback.
 func (t Timer) Stop() {
-	if t.t != nil {
-		t.t.cancelled = true
+	tm := t.t
+	if tm == nil || tm.cancelled {
+		return
+	}
+	tm.cancelled = true
+	if tm.idx >= 0 {
+		heap.Remove(&tm.c.timers, tm.idx)
 	}
 }
 
@@ -107,22 +145,23 @@ func (c *Clock) Every(period time.Duration, fn func(now Time)) Timer {
 
 func (c *Clock) schedule(when Time, period time.Duration, fn func(Time)) Timer {
 	c.seq++
-	t := &timer{when: when, period: period, fn: fn, seq: c.seq}
+	t := &timer{c: c, when: when, period: period, fn: fn, seq: c.seq}
 	heap.Push(&c.timers, t)
 	return Timer{t}
 }
 
-// PendingTimers reports how many timers are scheduled (including
-// cancelled ones not yet reaped).
+// PendingTimers reports how many live timers are scheduled. Stopped
+// timers are removed from the queue eagerly and never counted.
 func (c *Clock) PendingTimers() int { return len(c.timers) }
 
 type timer struct {
+	c         *Clock
 	when      Time
 	period    time.Duration
 	fn        func(Time)
 	seq       uint64
 	cancelled bool
-	idx       int
+	idx       int // position in the heap; -1 while not enqueued
 }
 
 type timerHeap []*timer
@@ -149,6 +188,7 @@ func (h *timerHeap) Pop() any {
 	n := len(old)
 	t := old[n-1]
 	old[n-1] = nil
+	t.idx = -1
 	*h = old[:n-1]
 	return t
 }

@@ -121,6 +121,112 @@ func TestSetPeriod(t *testing.T) {
 	}
 }
 
+func TestStopRemovesTimerEagerly(t *testing.T) {
+	c := NewClock(time.Millisecond)
+	// A churny workload: schedule far-future timers and cancel them
+	// immediately. The heap must not accumulate dead entries.
+	for i := 0; i < 1000; i++ {
+		tm := c.After(time.Hour, func(Time) {})
+		tm.Stop()
+	}
+	if n := c.PendingTimers(); n != 0 {
+		t.Fatalf("PendingTimers = %d after stopping every timer, want 0", n)
+	}
+	live := c.After(5*time.Millisecond, func(Time) {})
+	dead := c.After(time.Millisecond, func(Time) { t.Fatal("stopped timer fired") })
+	dead.Stop()
+	if n := c.PendingTimers(); n != 1 {
+		t.Fatalf("PendingTimers = %d, want 1 live", n)
+	}
+	c.RunUntil(10 * time.Millisecond)
+	_ = live
+	// Stop is idempotent, including after firing.
+	live.Stop()
+	live.Stop()
+}
+
+func TestStopOtherTimerFromCallback(t *testing.T) {
+	c := NewClock(time.Millisecond)
+	var bFired bool
+	b := c.After(2*time.Millisecond, func(Time) { bFired = true })
+	c.After(time.Millisecond, func(Time) { b.Stop() })
+	c.RunUntil(5 * time.Millisecond)
+	if bFired {
+		t.Fatal("timer fired after being stopped by an earlier callback")
+	}
+	if c.PendingTimers() != 0 {
+		t.Fatalf("PendingTimers = %d", c.PendingTimers())
+	}
+}
+
+func TestNextDeadline(t *testing.T) {
+	c := NewClock(time.Millisecond)
+	if _, ok := c.NextDeadline(); ok {
+		t.Fatal("empty clock reports a deadline")
+	}
+	tm := c.After(7*time.Millisecond, func(Time) {})
+	c.After(3*time.Millisecond, func(Time) {})
+	if d, ok := c.NextDeadline(); !ok || d != 3*time.Millisecond {
+		t.Fatalf("NextDeadline = %v,%v, want 3ms", d, ok)
+	}
+	c.RunUntil(3 * time.Millisecond)
+	if d, ok := c.NextDeadline(); !ok || d != 7*time.Millisecond {
+		t.Fatalf("NextDeadline after first fire = %v,%v, want 7ms", d, ok)
+	}
+	tm.Stop()
+	if _, ok := c.NextDeadline(); ok {
+		t.Fatal("deadline survives Stop of the only timer")
+	}
+}
+
+func TestAdvanceJumpsTimerFreeSpan(t *testing.T) {
+	c := NewClock(time.Millisecond)
+	fired := Time(-1)
+	c.After(100*time.Millisecond, func(now Time) { fired = now })
+	c.Advance(99 * time.Millisecond)
+	if c.Now() != 99*time.Millisecond || fired != -1 {
+		t.Fatalf("now=%v fired=%v after timer-free jump", c.Now(), fired)
+	}
+	// The next dense step fires the timer on its normal boundary.
+	c.Step()
+	if fired != 100*time.Millisecond {
+		t.Fatalf("timer fired at %v, want 100ms", fired)
+	}
+}
+
+func TestAdvanceFiresSpannedTimersInOrder(t *testing.T) {
+	c := NewClock(time.Millisecond)
+	var order []Time
+	c.After(4*time.Millisecond, func(now Time) { order = append(order, now) })
+	c.After(2*time.Millisecond, func(now Time) { order = append(order, now) })
+	c.Advance(10 * time.Millisecond)
+	if len(order) != 2 || order[0] != 10*time.Millisecond || order[1] != 10*time.Millisecond {
+		t.Fatalf("order = %v; spanned timers must fire (at the jump target)", order)
+	}
+}
+
+func TestAdvanceBackwardsPanics(t *testing.T) {
+	c := NewClock(time.Millisecond)
+	c.Advance(5 * time.Millisecond)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic advancing backwards")
+		}
+	}()
+	c.Advance(time.Millisecond)
+}
+
+func TestPeriodicTimerSurvivesAdvance(t *testing.T) {
+	c := NewClock(time.Millisecond)
+	n := 0
+	c.Every(2*time.Millisecond, func(Time) { n++ })
+	c.Advance(time.Millisecond) // before the first deadline
+	c.RunUntil(7 * time.Millisecond)
+	if n != 3 {
+		t.Fatalf("periodic fired %d times, want 3 (at 2,4,6ms)", n)
+	}
+}
+
 func TestRNGDeterminism(t *testing.T) {
 	a, b := NewRNG(7), NewRNG(7)
 	for i := 0; i < 100; i++ {

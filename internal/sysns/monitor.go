@@ -6,6 +6,7 @@ import (
 	"arv/internal/cfs"
 	"arv/internal/cgroups"
 	"arv/internal/sim"
+	"arv/internal/telemetry"
 )
 
 // Monitor is ns_monitor: the system-wide daemon (a kernel thread in the
@@ -26,6 +27,10 @@ type Monitor struct {
 	// tracking the scheduling period (used by the update-period
 	// ablation).
 	FixedPeriod time.Duration
+
+	// Trace, when non-nil, receives one KindNSUpdate event per namespace
+	// per round. Nil (the default) costs nothing.
+	Trace *telemetry.Tracer
 
 	lastUpdate sim.Time
 	timer      sim.Timer
@@ -181,9 +186,14 @@ func (m *Monitor) UpdateAll(now sim.Time) {
 	m.lastUpdate = now
 
 	slack := m.hier.Scheduler().TakeWindowSlack()
+	m.Trace.Add(telemetry.CtrNSUpdates, uint64(len(m.order)))
 	for _, ns := range m.order {
 		usage := ns.cg.CPU.TakeWindowUsage()
 		ns.UpdateCPU(now, window, usage, slack)
 		ns.UpdateMem(now)
+		if m.Trace.Enabled() {
+			m.Trace.Emit(now, telemetry.KindNSUpdate, ns.cg.Name,
+				int64(ns.EffectiveCPU()), int64(ns.EffectiveMemory()))
+		}
 	}
 }

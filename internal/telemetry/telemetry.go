@@ -1,0 +1,256 @@
+// Package telemetry is the simulation's structured tracing and counting
+// substrate. A Tracer owns a fixed-size ring buffer of Events plus a
+// small set of monotonic counters; host, cfs, memctl, and sysns emit
+// into it so an experiment can explain *why* effective CPU or memory
+// moved (which kswapd run, which throttle span, which namespace update).
+//
+// Tracing is opt-in and zero-cost when disabled: every subsystem holds a
+// *Tracer that is nil by default, and all Tracer methods are nil-receiver
+// safe no-ops. Hot paths additionally guard expensive argument
+// construction behind Enabled().
+//
+// The Tracer is single-goroutine, like the simulation itself: it must
+// only be used from the goroutine driving the host.
+package telemetry
+
+import (
+	"fmt"
+
+	"arv/internal/sim"
+)
+
+// Kind classifies a trace event.
+type Kind uint8
+
+const (
+	// KindFastForward: the kernel skipped an idle span. A = ticks
+	// skipped.
+	KindFastForward Kind = iota
+	// KindThrottle / KindUnthrottle: a scheduling group's bandwidth
+	// limit started / stopped binding. A = milli-CPUs allocated in the
+	// transition tick.
+	KindThrottle
+	KindUnthrottle
+	// KindKswapd: a background-reclaim pass completed. A = bytes
+	// swapped out, B = free bytes afterwards.
+	KindKswapd
+	// KindDirectReclaim: an allocation fell below the min watermark.
+	// A = bytes swapped out, B = free bytes afterwards.
+	KindDirectReclaim
+	// KindOOMKill: a group was OOM-killed. A = resident bytes freed.
+	KindOOMKill
+	// KindNSUpdate: one Algorithm 1 + 2 round for a namespace.
+	// A = E_CPU, B = E_MEM bytes.
+	KindNSUpdate
+)
+
+// String returns the event-kind name.
+func (k Kind) String() string {
+	switch k {
+	case KindFastForward:
+		return "fast-forward"
+	case KindThrottle:
+		return "throttle"
+	case KindUnthrottle:
+		return "unthrottle"
+	case KindKswapd:
+		return "kswapd"
+	case KindDirectReclaim:
+		return "direct-reclaim"
+	case KindOOMKill:
+		return "oom-kill"
+	case KindNSUpdate:
+		return "ns-update"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Event is one trace record. Actor names the group, namespace, or
+// subsystem the event concerns; A and B are kind-specific arguments.
+type Event struct {
+	At    sim.Time
+	Kind  Kind
+	Actor string
+	A, B  int64
+}
+
+// String renders the event for logs.
+func (e Event) String() string {
+	return fmt.Sprintf("%12v %-14s %-12s A=%d B=%d", e.At, e.Kind, e.Actor, e.A, e.B)
+}
+
+// Counter identifies one monotonic counter.
+type Counter uint8
+
+const (
+	// CtrSteps counts full kernel steps (dense ticks actually executed).
+	CtrSteps Counter = iota
+	// CtrFastForwards counts idle spans skipped in one jump.
+	CtrFastForwards
+	// CtrSkippedTicks counts ticks elided by fast-forwarding.
+	CtrSkippedTicks
+	// CtrProgramPolls counts Program.Poll invocations.
+	CtrProgramPolls
+	// CtrSchedTicks counts full scheduler allocation rounds.
+	CtrSchedTicks
+	// CtrNSUpdates counts per-namespace Algorithm 1+2 rounds.
+	CtrNSUpdates
+	// CtrKswapdRuns / CtrDirectReclaims / CtrOOMKills mirror the memctl
+	// event counters.
+	CtrKswapdRuns
+	CtrDirectReclaims
+	CtrOOMKills
+
+	numCounters
+)
+
+// String returns the counter name.
+func (c Counter) String() string {
+	switch c {
+	case CtrSteps:
+		return "kernel.steps"
+	case CtrFastForwards:
+		return "kernel.fastforwards"
+	case CtrSkippedTicks:
+		return "kernel.skipped_ticks"
+	case CtrProgramPolls:
+		return "kernel.program_polls"
+	case CtrSchedTicks:
+		return "sched.ticks"
+	case CtrNSUpdates:
+		return "sysns.updates"
+	case CtrKswapdRuns:
+		return "mem.kswapd_runs"
+	case CtrDirectReclaims:
+		return "mem.direct_reclaims"
+	case CtrOOMKills:
+		return "mem.oom_kills"
+	default:
+		return fmt.Sprintf("Counter(%d)", int(c))
+	}
+}
+
+// DefaultRingSize is the event capacity used when New is given a
+// non-positive size.
+const DefaultRingSize = 4096
+
+// Tracer collects events and counters. The zero value is not used;
+// subsystems hold a nil *Tracer when tracing is disabled.
+type Tracer struct {
+	ring     []Event
+	emitted  uint64
+	counters [numCounters]uint64
+}
+
+// New returns a Tracer whose ring holds size events (DefaultRingSize if
+// size <= 0). Older events are overwritten once the ring is full.
+func New(size int) *Tracer {
+	if size <= 0 {
+		size = DefaultRingSize
+	}
+	return &Tracer{ring: make([]Event, 0, size)}
+}
+
+// Enabled reports whether the tracer records anything. It is the guard
+// hot paths use before building event arguments.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Emit records one event. No-op on a nil tracer.
+func (t *Tracer) Emit(at sim.Time, kind Kind, actor string, a, b int64) {
+	if t == nil {
+		return
+	}
+	e := Event{At: at, Kind: kind, Actor: actor, A: a, B: b}
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, e)
+	} else {
+		t.ring[t.emitted%uint64(cap(t.ring))] = e
+	}
+	t.emitted++
+}
+
+// Add increments a counter by n. No-op on a nil tracer.
+func (t *Tracer) Add(c Counter, n uint64) {
+	if t == nil {
+		return
+	}
+	t.counters[c] += n
+}
+
+// Count returns a counter's value (0 on a nil tracer).
+func (t *Tracer) Count(c Counter) uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.counters[c]
+}
+
+// Counters returns all counters as a name → value map.
+func (t *Tracer) Counters() map[string]uint64 {
+	out := make(map[string]uint64)
+	if t == nil {
+		return out
+	}
+	for c := Counter(0); c < numCounters; c++ {
+		out[c.String()] = t.counters[c]
+	}
+	return out
+}
+
+// Emitted returns how many events were emitted in total, including any
+// that have since been overwritten.
+func (t *Tracer) Emitted() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.emitted
+}
+
+// Dropped returns how many events were overwritten by ring wrap-around.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	if kept := uint64(len(t.ring)); t.emitted > kept {
+		return t.emitted - kept
+	}
+	return 0
+}
+
+// Events returns the retained events oldest-first.
+func (t *Tracer) Events() []Event {
+	if t == nil || len(t.ring) == 0 {
+		return nil
+	}
+	out := make([]Event, 0, len(t.ring))
+	if t.emitted > uint64(len(t.ring)) {
+		// Ring has wrapped: oldest entry sits at the write cursor.
+		cur := int(t.emitted % uint64(cap(t.ring)))
+		out = append(out, t.ring[cur:]...)
+		out = append(out, t.ring[:cur]...)
+		return out
+	}
+	return append(out, t.ring...)
+}
+
+// EventsOf returns the retained events of one kind, oldest-first.
+func (t *Tracer) EventsOf(kind Kind) []Event {
+	var out []Event
+	for _, e := range t.Events() {
+		if e.Kind == kind {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Reset clears events and counters, keeping the ring capacity.
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.ring = t.ring[:0]
+	t.emitted = 0
+	t.counters = [numCounters]uint64{}
+}

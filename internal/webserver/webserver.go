@@ -223,6 +223,17 @@ func (s *Server) Stop() { s.stopped = true }
 // Done implements host.Program.
 func (s *Server) Done() bool { return s.done }
 
+// NextWake implements host.WakePolicy. Open-loop arrivals accrue from a
+// per-tick counter, so the server needs every tick while alive: it
+// declares the immediately-next tick as its wake, keeping the kernel
+// dense without blocking fast-forward for unrelated idle hosts.
+func (s *Server) NextWake(now sim.Time) (sim.Time, bool) {
+	if s.done {
+		return 0, false
+	}
+	return now + s.h.Tick(), true
+}
+
 func (s *Server) workerTick(idx int, useful units.CPUSeconds) {
 	r := s.serving[idx]
 	if r == nil {

@@ -62,6 +62,10 @@ func (s *Sysbench) Start() {
 // Done implements host.Program.
 func (s *Sysbench) Done() bool { return s.done }
 
+// NextWake implements host.WakePolicy: sysbench finishes only as task
+// work accrues, so its Poll is a no-op while its threads are off-CPU.
+func (s *Sysbench) NextWake(now sim.Time) (sim.Time, bool) { return 0, false }
+
 // Poll implements host.Program.
 func (s *Sysbench) Poll(now sim.Time) {
 	if s.done || s.workDone < s.totalWork {
@@ -122,6 +126,20 @@ func (m *MemHog) Start() {
 
 // Done implements host.Program.
 func (m *MemHog) Done() bool { return m.done }
+
+// NextWake implements host.WakePolicy: the hog charges memory every
+// tick while acquiring (dense), then sleeps until its hold expires.
+func (m *MemHog) NextWake(now sim.Time) (sim.Time, bool) {
+	switch {
+	case m.done:
+		return 0, false
+	case m.acquired < m.Target:
+		return now + m.h.Tick(), true
+	case m.Hold > 0:
+		return m.fullSince + m.Hold, true
+	}
+	return 0, false
+}
 
 // Killed reports whether the hog was OOM-killed.
 func (m *MemHog) Killed() bool { return m.killed }
