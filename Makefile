@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench golden ci
+.PHONY: build vet test race bench golden golden-parallel ci
 
 build:
 	$(GO) build ./...
@@ -21,4 +21,8 @@ bench:
 golden:
 	$(GO) test -run TestExperimentsMatchGolden -update-golden .
 
-ci: build vet race
+# Prove the goldens are byte-identical with trial-level parallelism.
+golden-parallel:
+	$(GO) test -count=1 -run TestExperimentsMatchGolden -golden-workers 8 .
+
+ci: build vet test race bench golden-parallel

@@ -7,26 +7,52 @@
 //	arvbench -run fig6
 //	arvbench -run all -scale 0.25
 //	arvbench -run fig12 -csv
+//	arvbench -run all -parallel 8 -json BENCH_all.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"arv/internal/experiments"
 )
 
+// benchReport is the -json output: one BENCH_*.json-style document per
+// invocation, so successive runs can be diffed to track the cost of
+// regenerating the paper.
+type benchReport struct {
+	Schema      string        `json:"schema"`
+	GoVersion   string        `json:"go_version"`
+	GOMAXPROCS  int           `json:"gomaxprocs"`
+	Parallel    int           `json:"parallel"`
+	Scale       float64       `json:"scale"`
+	TotalWallMS float64       `json:"total_wall_ms"`
+	Experiments []benchRecord `json:"experiments"`
+}
+
+type benchRecord struct {
+	ID         string  `json:"id"`
+	Title      string  `json:"title"`
+	WallMS     float64 `json:"wall_ms"`
+	AllocBytes uint64  `json:"alloc_bytes"`
+	Allocs     uint64  `json:"allocs"`
+}
+
 func main() {
 	var (
-		list    = flag.Bool("list", false, "list available experiments")
-		run     = flag.String("run", "", "experiment id to run (or 'all')")
-		scale   = flag.Float64("scale", 1.0, "workload scale factor (1.0 = paper-sized)")
-		csv     = flag.Bool("csv", false, "emit tables as CSV instead of aligned text")
-		md      = flag.Bool("md", false, "emit tables as Markdown instead of aligned text")
-		verbose = flag.Bool("v", false, "verbose notes")
+		list     = flag.Bool("list", false, "list available experiments")
+		run      = flag.String("run", "", "experiment id to run (or 'all')")
+		scale    = flag.Float64("scale", 1.0, "workload scale factor (1.0 = paper-sized)")
+		parallel = flag.Int("parallel", 1, "worker count for experiments and their trials (1 = sequential)")
+		jsonPath = flag.String("json", "", "write per-experiment wall-clock/allocation records to this file (BENCH_*.json shape)")
+		csv      = flag.Bool("csv", false, "emit tables as CSV instead of aligned text")
+		md       = flag.Bool("md", false, "emit tables as Markdown instead of aligned text")
+		verbose  = flag.Bool("v", false, "verbose notes")
 	)
 	flag.Parse()
 
@@ -41,7 +67,7 @@ func main() {
 		return
 	}
 
-	opts := experiments.Options{Scale: *scale, Verbose: *verbose}
+	opts := experiments.Options{Scale: *scale, Verbose: *verbose, Workers: *parallel}
 	var entries []experiments.Entry
 	if strings.EqualFold(*run, "all") {
 		entries = experiments.All()
@@ -56,9 +82,12 @@ func main() {
 		}
 	}
 
-	for _, e := range entries {
-		start := time.Now()
-		res := e.Run(opts)
+	start := time.Now()
+	recs := experiments.RunAll(entries, opts, *parallel)
+	total := time.Since(start)
+
+	for _, rec := range recs {
+		res := rec.Result
 		switch {
 		case *csv:
 			fmt.Printf("# %s: %s\n", res.ID, res.Title)
@@ -79,6 +108,40 @@ func main() {
 		default:
 			fmt.Println(res.String())
 		}
-		fmt.Printf("[%s completed in %v wall time]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("[%s completed in %v wall time]\n\n", rec.Entry.ID, rec.Wall.Round(time.Millisecond))
+	}
+	if len(recs) > 1 {
+		fmt.Printf("[%d experiments completed in %v wall time, parallel=%d]\n",
+			len(recs), total.Round(time.Millisecond), *parallel)
+	}
+
+	if *jsonPath != "" {
+		report := benchReport{
+			Schema:      "arvbench/v1",
+			GoVersion:   runtime.Version(),
+			GOMAXPROCS:  runtime.GOMAXPROCS(0),
+			Parallel:    *parallel,
+			Scale:       *scale,
+			TotalWallMS: float64(total) / float64(time.Millisecond),
+		}
+		for _, rec := range recs {
+			report.Experiments = append(report.Experiments, benchRecord{
+				ID:         rec.Entry.ID,
+				Title:      rec.Entry.Title,
+				WallMS:     float64(rec.Wall) / float64(time.Millisecond),
+				AllocBytes: rec.AllocBytes,
+				Allocs:     rec.Allocs,
+			})
+		}
+		buf, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "arvbench: encoding -json report: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonPath, append(buf, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "arvbench: writing %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[wrote %s]\n", *jsonPath)
 	}
 }

@@ -12,6 +12,10 @@ import (
 var updateGolden = flag.Bool("update-golden", false,
 	"rewrite testdata/golden from the current code instead of comparing")
 
+var goldenWorkers = flag.Int("golden-workers", 0,
+	"trial-level worker count for the golden sweep (0/1 = sequential); "+
+		"the goldens must match at every setting")
+
 // TestExperimentsMatchGolden locks every registered experiment's
 // rendered output to the checked-in goldens, captured from the dense
 // fixed-tick kernel before the event-driven refactor. The experiments
@@ -20,6 +24,10 @@ var updateGolden = flag.Bool("update-golden", false,
 // stepping: one float or one tick of divergence anywhere in the
 // scheduler, memory controller, or namespace algorithms changes the
 // rendered tables.
+//
+// With -golden-workers N the sweep additionally proves that trial-level
+// parallelism is unobservable: every experiment must render the same
+// bytes no matter how many goroutines its trials are spread across.
 //
 // Regenerate (after an intentional model change) with:
 //
@@ -32,7 +40,7 @@ func TestExperimentsMatchGolden(t *testing.T) {
 	for _, e := range experiments.All() {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
-			got := e.Run(experiments.Options{Scale: 0.25}).String()
+			got := e.Run(experiments.Options{Scale: 0.25, Workers: *goldenWorkers}).String()
 			path := filepath.Join(dir, e.ID+".golden")
 			if *updateGolden {
 				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {

@@ -197,6 +197,15 @@ type Scheduler struct {
 	scratchAct   []int
 }
 
+// SubsystemName identifies the scheduler in telemetry and diagnostics;
+// with Tick, NextEvent, SkipIdle, and AttachTelemetry it satisfies the
+// host kernel's Subsystem interface.
+func (s *Scheduler) SubsystemName() string { return "cfs" }
+
+// AttachTelemetry sets (or, with nil, clears) the scheduler's trace
+// sink.
+func (s *Scheduler) AttachTelemetry(tr *telemetry.Tracer) { s.Trace = tr }
+
 // NewScheduler returns a scheduler for a host with ncpu cores.
 func NewScheduler(ncpu int) *Scheduler {
 	if ncpu <= 0 {

@@ -56,32 +56,53 @@ func ablJVMRun(opts sysns.Options, fixedPeriod time.Duration, scale float64) (ex
 // AblCPU sweeps Algorithm 1's design choices: the 95% utilization
 // threshold, the ±1-per-update rate limit, and disabling the
 // work-conserving growth entirely (which reduces the adaptive view to a
-// JVM10-style static share).
+// JVM10-style static share). The 4+4+2 configurations are independent
+// simulations and fan out across opts.Workers.
 func AblCPU(opts Options) *Result {
 	s := opts.scale()
 
-	t1 := texttable.New("UTIL_THRSHD sweep (paper: 0.95)", "threshold", "exec", "gc")
-	for _, th := range []float64{0.50, 0.80, 0.95, 0.99} {
-		exec, gc := ablJVMRun(sysns.Options{UtilThreshold: th}, 0, s)
-		t1.AddRow(fmt.Sprintf("%.2f", th), secs(exec), secs(gc))
-	}
-
-	t2 := texttable.New("per-update step sweep (paper: 1)", "step", "exec", "gc")
-	for _, step := range []int{1, 2, 4, 8} {
-		exec, gc := ablJVMRun(sysns.Options{CPUStep: step}, 0, s)
-		t2.AddRow(step, secs(exec), secs(gc))
-	}
-
-	t3 := texttable.New("dynamic adjustment vs static share-derived bound", "mode", "exec", "gc")
-	for _, mode := range []struct {
+	thresholds := []float64{0.50, 0.80, 0.95, 0.99}
+	steps := []int{1, 2, 4, 8}
+	modes := []struct {
 		name string
 		opts sysns.Options
 	}{
 		{"dynamic (paper)", sysns.Options{}},
 		{"static lower bound", sysns.Options{DisableGrowth: true}},
-	} {
-		exec, gc := ablJVMRun(mode.opts, 0, s)
-		t3.AddRow(mode.name, secs(exec), secs(gc))
+	}
+
+	cfgs := make([]sysns.Options, 0, len(thresholds)+len(steps)+len(modes))
+	for _, th := range thresholds {
+		cfgs = append(cfgs, sysns.Options{UtilThreshold: th})
+	}
+	for _, step := range steps {
+		cfgs = append(cfgs, sysns.Options{CPUStep: step})
+	}
+	for _, mode := range modes {
+		cfgs = append(cfgs, mode.opts)
+	}
+
+	execs := make([]time.Duration, len(cfgs))
+	gcs := make([]time.Duration, len(cfgs))
+	opts.forEach(len(cfgs), func(i int) {
+		execs[i], gcs[i] = ablJVMRun(cfgs[i], 0, s)
+	})
+
+	t1 := texttable.New("UTIL_THRSHD sweep (paper: 0.95)", "threshold", "exec", "gc")
+	for i, th := range thresholds {
+		t1.AddRow(fmt.Sprintf("%.2f", th), secs(execs[i]), secs(gcs[i]))
+	}
+
+	t2 := texttable.New("per-update step sweep (paper: 1)", "step", "exec", "gc")
+	for i, step := range steps {
+		j := len(thresholds) + i
+		t2.AddRow(step, secs(execs[j]), secs(gcs[j]))
+	}
+
+	t3 := texttable.New("dynamic adjustment vs static share-derived bound", "mode", "exec", "gc")
+	for i, mode := range modes {
+		j := len(thresholds) + len(steps) + i
+		t3.AddRow(mode.name, secs(execs[j]), secs(gcs[j]))
 	}
 
 	return &Result{
@@ -95,15 +116,25 @@ func AblCPU(opts Options) *Result {
 }
 
 // AblPeriod compares the paper's scheduling-period-coupled update
-// interval against fixed timers.
+// interval against fixed timers. The four settings fan out across
+// opts.Workers.
 func AblPeriod(opts Options) *Result {
 	s := opts.scale()
+	periods := []time.Duration{0, 10 * time.Millisecond, 100 * time.Millisecond, time.Second}
+
+	execs := make([]time.Duration, len(periods))
+	gcs := make([]time.Duration, len(periods))
+	opts.forEach(len(periods), func(i int) {
+		execs[i], gcs[i] = ablJVMRun(sysns.Options{}, periods[i], s)
+	})
+
 	t := texttable.New("update period sweep (paper: the CFS scheduling period)", "period", "exec", "gc")
-	exec, gc := ablJVMRun(sysns.Options{}, 0, s)
-	t.AddRow("sched-period", secs(exec), secs(gc))
-	for _, p := range []time.Duration{10 * time.Millisecond, 100 * time.Millisecond, time.Second} {
-		exec, gc := ablJVMRun(sysns.Options{}, p, s)
-		t.AddRow(p.String(), secs(exec), secs(gc))
+	for i, p := range periods {
+		label := "sched-period"
+		if p > 0 {
+			label = p.String()
+		}
+		t.AddRow(label, secs(execs[i]), secs(gcs[i]))
 	}
 	return &Result{
 		ID: "abl-period", Title: "sys_namespace update-period ablation",
@@ -115,15 +146,17 @@ func AblPeriod(opts Options) *Result {
 }
 
 // AblMem sweeps Algorithm 2's 10% expansion increment on the §5.3
-// micro-benchmark.
+// micro-benchmark. The four steps fan out across opts.Workers.
 func AblMem(opts Options) *Result {
 	s := opts.scale()
 	if s > 0.3 {
 		s = 0.3 // the microbench is long; cap the ablation's scale
 	}
-	t := texttable.New("effective-memory expansion step (paper: 10% of remaining headroom)",
-		"step", "exec", "gcs", "peak_committed")
-	for _, frac := range []float64{0.05, 0.10, 0.25, 0.50} {
+	fracs := []float64{0.05, 0.10, 0.25, 0.50}
+
+	rows := make([][]any, len(fracs))
+	opts.forEach(len(fracs), func(i int) {
+		frac := fracs[i]
 		h := host.New(host.Config{
 			CPUs: 20, Memory: 128 * units.GiB,
 			Tick:      4 * time.Millisecond,
@@ -145,8 +178,14 @@ func AblMem(opts Options) *Result {
 		ctr.Exec("java")
 		j := startJVM(h, ctr, w, jvm.Config{Policy: jvm.Adaptive, ElasticHeap: true})
 		h.RunUntil(j.Done, 6*time.Hour)
-		t.AddRow(fmt.Sprintf("%.2f", frac), secs(j.Stats.ExecTime()),
-			j.Stats.MinorGCs+j.Stats.MajorGCs, j.Heap().Committed().String())
+		rows[i] = []any{fmt.Sprintf("%.2f", frac), secs(j.Stats.ExecTime()),
+			j.Stats.MinorGCs + j.Stats.MajorGCs, j.Heap().Committed().String()}
+	})
+
+	t := texttable.New("effective-memory expansion step (paper: 10% of remaining headroom)",
+		"step", "exec", "gcs", "peak_committed")
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	return &Result{
 		ID: "abl-mem", Title: "Algorithm 2 expansion-step ablation",

@@ -13,6 +13,8 @@ package experiments
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"arv/internal/container"
@@ -30,6 +32,11 @@ type Options struct {
 	Scale float64
 	// Verbose adds explanatory notes to results.
 	Verbose bool
+	// Workers bounds how many of a driver's independent trials (each a
+	// self-contained Host simulation) run concurrently. 0 or 1 keeps
+	// trials sequential. Every simulation stays internally sequential
+	// and deterministic, so results are byte-identical at any width.
+	Workers int
 }
 
 func (o Options) scale() float64 {
@@ -37,6 +44,48 @@ func (o Options) scale() float64 {
 		return 1
 	}
 	return o.Scale
+}
+
+func (o Options) workers() int {
+	if o.Workers <= 1 {
+		return 1
+	}
+	return o.Workers
+}
+
+// forEach runs n independent trials, fanning them out across up to
+// o.Workers goroutines. Each trial must be self-contained — build its
+// own Host, touch no state shared with other trials — and publish its
+// outcome only to index-distinct slots, so the caller can assemble
+// tables in deterministic trial order afterwards and the rendered
+// output is byte-identical at any worker count.
+func (o Options) forEach(n int, trial func(i int)) {
+	w := o.workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			trial(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				trial(i)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // Result is a regenerated figure or table.
@@ -66,28 +115,29 @@ type Entry struct {
 	Run   func(Options) *Result
 }
 
-var registry []Entry
+var registry = make(map[string]Entry)
 
 func register(id, title string, run func(Options) *Result) {
-	registry = append(registry, Entry{ID: id, Title: title, Run: run})
+	if _, dup := registry[id]; dup {
+		panic("experiments: duplicate experiment id " + id)
+	}
+	registry[id] = Entry{ID: id, Title: title, Run: run}
 }
 
 // All returns the registered experiments sorted by ID.
 func All() []Entry {
-	out := make([]Entry, len(registry))
-	copy(out, registry)
+	out := make([]Entry, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
 
 // Lookup finds an experiment by ID.
 func Lookup(id string) (Entry, bool) {
-	for _, e := range registry {
-		if e.ID == id {
-			return e, true
-		}
-	}
-	return Entry{}, false
+	e, ok := registry[id]
+	return e, ok
 }
 
 // --- shared setup helpers ---

@@ -23,25 +23,26 @@ func init() {
 // is busy; static-limit sizing (10 workers, the LXCFS view) over-threads
 // the contended phases and cannot exploit idle ones beyond the quota;
 // adaptive sizing follows effective CPU through every phase. Reported:
-// served/dropped requests and the latency distribution.
+// served/dropped requests and the latency distribution. The three sizing
+// policies fan out across opts.Workers.
 func ExtHTTPD(opts Options) *Result {
 	duration := time.Duration(30 * float64(time.Second) * opts.scale() / 0.15)
 	if duration > 30*time.Second {
 		duration = 30 * time.Second
 	}
 
-	t := texttable.New("open-loop server, phased co-location: latency and loss per sizing policy",
-		"sizing", "served", "dropped", "mean_lat", "p50", "p99", "final_workers")
-
-	for _, sizing := range []webserver.Sizing{webserver.SizeHost, webserver.SizeStatic, webserver.SizeAdaptive} {
+	sizings := []webserver.Sizing{webserver.SizeHost, webserver.SizeStatic, webserver.SizeAdaptive}
+	rows := make([][]any, len(sizings))
+	opts.forEach(len(sizings), func(i int) {
+		sizing := sizings[i]
 		h := paperHost(time.Millisecond)
 		specs := []container.Spec{{
 			Name:       "web",
 			CPUQuotaUS: 1_000_000, CPUPeriodUS: 100_000, // 10-core limit
 			Gamma: 0.6, // request handlers contend on accept/locks
 		}}
-		for i := 0; i < 4; i++ {
-			specs = append(specs, container.Spec{Name: fmt.Sprintf("batch%d", i)})
+		for k := 0; k < 4; k++ {
+			specs = append(specs, container.Spec{Name: fmt.Sprintf("batch%d", k)})
 		}
 		ctrs := createContainers(h, specs)
 
@@ -56,19 +57,25 @@ func ExtHTTPD(opts Options) *Result {
 
 		// Phased batch load: busy for the middle half of the run.
 		h.Clock.After(duration/4, func(now time.Duration) {
-			for i := 1; i < len(ctrs); i++ {
+			for k := 1; k < len(ctrs); k++ {
 				work := units.CPUSeconds(float64(duration/2) / float64(time.Second) * 4)
-				workloads.NewSysbench(h, ctrs[i], 4, work).Start()
+				workloads.NewSysbench(h, ctrs[k], 4, work).Start()
 			}
 		})
 
 		h.RunUntil(srv.Done, 4*time.Hour)
-		t.AddRow(sizing.String(),
+		rows[i] = []any{sizing.String(),
 			srv.Stats.Served, srv.Stats.Dropped,
 			srv.Stats.MeanLatency().Round(time.Millisecond).String(),
 			srv.Stats.PercentileLatency(50).Round(time.Millisecond).String(),
 			srv.Stats.PercentileLatency(99).Round(time.Millisecond).String(),
-			srv.ActiveWorkers())
+			srv.ActiveWorkers()}
+	})
+
+	t := texttable.New("open-loop server, phased co-location: latency and loss per sizing policy",
+		"sizing", "served", "dropped", "mean_lat", "p50", "p99", "final_workers")
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 
 	return &Result{

@@ -1,8 +1,6 @@
 package experiments
 
 import (
-	"time"
-
 	"arv/internal/jvm"
 	"arv/internal/texttable"
 	"arv/internal/workloads"
@@ -22,23 +20,22 @@ func init() {
 //	vanilla      host view, static          (no kernel support)
 //	transparent  effective view at launch   (kernel support only)
 //	adaptive     effective view per GC      (kernel + runtime support, §4.1)
+//
+// The 5 benchmarks x 3 policies fan out across opts.Workers.
 func ExtLaunch(opts Options) *Result {
+	policies := []jvm.PolicyKind{jvm.Vanilla8, jvm.Transparent, jvm.Adaptive}
+	names := workloads.DaCapoNames
+	np := len(policies)
+
+	jvms, _, gcs := fig8Sweep(opts, names, policies)
+
 	t := texttable.New("Fig. 8 scenario: GC time normalized to vanilla (lower is better)",
 		"benchmark", "vanilla", "transparent", "adaptive", "pool_vanilla", "pool_transparent")
-	policies := []jvm.PolicyKind{jvm.Vanilla8, jvm.Transparent, jvm.Adaptive}
-
-	for _, name := range workloads.DaCapoNames {
-		w := scaleWorkload(workloads.DaCapo(name), opts.scale())
-		var gcs [3]time.Duration
-		var pools [3]int
-		for i, p := range policies {
-			j, _, gc := fig8Run(w, p)
-			gcs[i] = gc
-			pools[i] = j.GCThreadPool()
-		}
+	for bi, name := range names {
+		g := gcs[bi*np : (bi+1)*np]
 		t.AddRow(name,
-			ratio(gcs[0], gcs[0]), ratio(gcs[1], gcs[0]), ratio(gcs[2], gcs[0]),
-			pools[0], pools[1])
+			ratio(g[0], g[0]), ratio(g[1], g[0]), ratio(g[2], g[0]),
+			jvms[bi*np+0].GCThreadPool(), jvms[bi*np+1].GCThreadPool())
 	}
 
 	return &Result{

@@ -31,60 +31,70 @@ func init() {
 // The static-limits view sizes teams at 10 threads forever; the host
 // view at 20; adaptive follows effective CPU from the contended share
 // to the quota as the host empties.
+//
+// The 3 kernels x 3 strategies x 2 scenarios are 18 independent
+// simulations, fanned out across opts.Workers.
 func ExtViews(opts Options) *Result {
 	strategies := []omp.Strategy{omp.Static, omp.StaticLimits, omp.Adaptive}
+	kernels := []string{"cg", "ft", "lu"}
+	nk, ns := len(kernels), len(strategies)
+
+	aTimes := make([]time.Duration, nk*ns)
+	bTimes := make([]time.Duration, nk*ns)
+	bLxcfs := make([]int, nk)
+	bAdFirst := make([]int, nk)
+	bAdLast := make([]int, nk)
+	opts.forEach(2*nk*ns, func(i int) {
+		scen, rest := i/(nk*ns), i%(nk*ns)
+		ki, si := rest/ns, rest%ns
+		k := scaleKernel(workloads.NPB(kernels[ki]), opts.scale())
+		s := strategies[si]
+		if scen == 0 {
+			aTimes[rest] = fig10Shared(k, s, 5)
+			return
+		}
+
+		h := paperHost(time.Millisecond)
+		specs := []container.Spec{{
+			Name:       "npb",
+			CPUQuotaUS: 1_000_000, CPUPeriodUS: 100_000,
+		}}
+		for j := 0; j < 8; j++ {
+			specs = append(specs, container.Spec{Name: fmt.Sprintf("sb%d", j)})
+		}
+		ctrs := createContainers(h, specs)
+		// Staggered co-runners saturating the host for most of the
+		// kernel's run, draining toward its end.
+		est := float64(k.TotalWork()) / 2.5
+		for j := 0; j < 8; j++ {
+			work := (0.5 + 0.5*float64(j+1)/8) * est * 2.2
+			workloads.NewSysbench(h, ctrs[j+1], 4, units.CPUSeconds(work)).Start()
+		}
+		h.Run(2 * time.Second) // settle effective CPU under load
+		p := omp.New(h, ctrs[0], k, s)
+		p.Start()
+		h.RunUntil(p.Done, 4*time.Hour)
+		bTimes[rest] = p.ExecTime()
+		switch s {
+		case omp.StaticLimits:
+			bLxcfs[ki] = p.ThreadTrace[0]
+		case omp.Adaptive:
+			bAdFirst[ki] = p.ThreadTrace[0]
+			bAdLast[ki] = p.ThreadTrace[len(p.ThreadTrace)-1]
+		}
+	})
 
 	ta := texttable.New("(A) five equal-share containers (no limits set): exec time normalized to host-view",
 		"kernel", "host-view", "lxcfs", "adaptive")
-	for _, name := range []string{"cg", "ft", "lu"} {
-		k := scaleKernel(workloads.NPB(name), opts.scale())
-		var times [3]time.Duration
-		for i, s := range strategies {
-			times[i] = fig10Shared(k, s, 5)
-		}
-		ta.AddRow(name, ratio(times[0], times[0]), ratio(times[1], times[0]), ratio(times[2], times[0]))
-	}
-
 	tb := texttable.New("(B) one 10-core-quota container + draining co-runners: exec time normalized to host-view",
 		"kernel", "host-view", "lxcfs", "adaptive", "lxcfs_threads", "adaptive_threads(first->last)")
-	for _, name := range []string{"cg", "ft", "lu"} {
-		k := scaleKernel(workloads.NPB(name), opts.scale())
-		var times [3]time.Duration
-		var lxcfsThreads int
-		var adFirst, adLast int
-		for i, s := range strategies {
-			h := paperHost(time.Millisecond)
-			specs := []container.Spec{{
-				Name:       "npb",
-				CPUQuotaUS: 1_000_000, CPUPeriodUS: 100_000,
-			}}
-			for j := 0; j < 8; j++ {
-				specs = append(specs, container.Spec{Name: fmt.Sprintf("sb%d", j)})
-			}
-			ctrs := createContainers(h, specs)
-			// Staggered co-runners saturating the host for most of the
-			// kernel's run, draining toward its end.
-			est := float64(k.TotalWork()) / 2.5
-			for j := 0; j < 8; j++ {
-				work := (0.5 + 0.5*float64(j+1)/8) * est * 2.2
-				workloads.NewSysbench(h, ctrs[j+1], 4, units.CPUSeconds(work)).Start()
-			}
-			h.Run(2 * time.Second) // settle effective CPU under load
-			p := omp.New(h, ctrs[0], k, s)
-			p.Start()
-			h.RunUntil(p.Done, 4*time.Hour)
-			times[i] = p.ExecTime()
-			switch s {
-			case omp.StaticLimits:
-				lxcfsThreads = p.ThreadTrace[0]
-			case omp.Adaptive:
-				adFirst = p.ThreadTrace[0]
-				adLast = p.ThreadTrace[len(p.ThreadTrace)-1]
-			}
-		}
+	for ki, name := range kernels {
+		a := aTimes[ki*ns : (ki+1)*ns]
+		b := bTimes[ki*ns : (ki+1)*ns]
+		ta.AddRow(name, ratio(a[0], a[0]), ratio(a[1], a[0]), ratio(a[2], a[0]))
 		tb.AddRow(name,
-			ratio(times[0], times[0]), ratio(times[1], times[0]), ratio(times[2], times[0]),
-			lxcfsThreads, fmt.Sprintf("%d->%d", adFirst, adLast))
+			ratio(b[0], b[0]), ratio(b[1], b[0]), ratio(b[2], b[0]),
+			bLxcfs[ki], fmt.Sprintf("%d->%d", bAdFirst[ki], bAdLast[ki]))
 	}
 
 	return &Result{

@@ -62,24 +62,36 @@ func fig10Quota(k omp.Kernel, strategy omp.Strategy) time.Duration {
 // Fig10 reproduces Fig. 10: the NAS Parallel Benchmarks under the three
 // OpenMP thread strategies, (a) five co-located equal-share containers
 // and (b) a single container with a 4-core quota. Execution time is
-// normalized to static, as in the paper.
+// normalized to static, as in the paper. The 9 kernels x 3 strategies
+// x 2 scenarios are 54 independent simulations, fanned out across
+// opts.Workers.
 func Fig10(opts Options) *Result {
 	strategies := []omp.Strategy{omp.Static, omp.Dynamic, omp.Adaptive}
+	names := workloads.NPBNames
+	ns := len(strategies)
+
+	shared := make([]time.Duration, len(names)*ns)
+	quota := make([]time.Duration, len(names)*ns)
+	opts.forEach(len(shared)+len(quota), func(i int) {
+		scen, rest := i/(len(names)*ns), i%(len(names)*ns)
+		k := scaleKernel(workloads.NPB(names[rest/ns]), opts.scale())
+		s := strategies[rest%ns]
+		if scen == 0 {
+			shared[rest] = fig10Shared(k, s, 5)
+		} else {
+			quota[rest] = fig10Quota(k, s)
+		}
+	})
 
 	ta := texttable.New("(a) five containers with equal shares: exec time normalized to static",
 		"kernel", "static", "dynamic", "adaptive")
 	tb := texttable.New("(b) one container with a 4-core quota: exec time normalized to static",
 		"kernel", "static", "dynamic", "adaptive")
-
-	for _, name := range workloads.NPBNames {
-		k := scaleKernel(workloads.NPB(name), opts.scale())
-		var shared, quota [3]time.Duration
-		for i, s := range strategies {
-			shared[i] = fig10Shared(k, s, 5)
-			quota[i] = fig10Quota(k, s)
-		}
-		ta.AddRow(name, ratio(shared[0], shared[0]), ratio(shared[1], shared[0]), ratio(shared[2], shared[0]))
-		tb.AddRow(name, ratio(quota[0], quota[0]), ratio(quota[1], quota[0]), ratio(quota[2], quota[0]))
+	for ki, name := range names {
+		sh := shared[ki*ns : (ki+1)*ns]
+		q := quota[ki*ns : (ki+1)*ns]
+		ta.AddRow(name, ratio(sh[0], sh[0]), ratio(sh[1], sh[0]), ratio(sh[2], sh[0]))
+		tb.AddRow(name, ratio(q[0], q[0]), ratio(q[1], q[0]), ratio(q[2], q[0]))
 	}
 
 	return &Result{

@@ -21,39 +21,46 @@ func init() {
 // through the hard limit into swap. The elastic JVM's VirtualMax tracks
 // effective memory (the 1 GiB limit) and never overcommits, at the cost
 // of more frequent GCs. Execution and GC time are normalized to vanilla.
+// The 5 benchmarks x 2 JVMs fan out across opts.Workers.
 func Fig11(opts Options) *Result {
+	names := workloads.DaCapoNames
+	const nm = 2 // vanilla, elastic
+
+	execs := make([]time.Duration, len(names)*nm)
+	gcs := make([]time.Duration, len(names)*nm)
+	swaps := make([]units.Bytes, len(names)*nm)
+	ngcs := make([]int, len(names)*nm)
+	opts.forEach(len(execs), func(i int) {
+		name, elastic := names[i/nm], i%nm == 1
+		w := scaleWorkload(workloads.DaCapo(name), opts.scale())
+		h := paperHost(time.Millisecond)
+		spec := container.Spec{Name: "c0", MemHard: 1 * units.GiB, Gamma: gammaDaCapo}
+		cfg := jvm.Config{Xms: 500 * units.MiB}
+		if elastic {
+			cfg.Policy = jvm.Adaptive
+			cfg.ElasticHeap = true
+			cfg.ElasticPeriod = 10 * time.Second
+		} else {
+			cfg.Policy = jvm.Vanilla8
+		}
+		j := launchJVM(h, spec, w, cfg)
+		h.RunUntil(j.Done, 6*time.Hour)
+		execs[i] = j.Stats.ExecTime()
+		gcs[i] = j.Stats.GCTime
+		so, _ := h.Cgroups.Lookup("c0").Mem.SwapTraffic()
+		swaps[i] = so
+		ngcs[i] = j.Stats.MinorGCs + j.Stats.MajorGCs
+	})
+
 	t := texttable.New("execution and GC time with a 1 GiB hard limit, normalized to vanilla",
 		"benchmark", "exec_vanilla", "exec_elastic", "gc_vanilla", "gc_elastic",
 		"swap_vanilla", "swap_elastic", "gcs_vanilla", "gcs_elastic")
-
-	for _, name := range workloads.DaCapoNames {
-		w := scaleWorkload(workloads.DaCapo(name), opts.scale())
-		var execs, gcs [2]time.Duration
-		var swaps [2]units.Bytes
-		var ngcs [2]int
-		for ci, elastic := range []bool{false, true} {
-			h := paperHost(time.Millisecond)
-			spec := container.Spec{Name: "c0", MemHard: 1 * units.GiB, Gamma: gammaDaCapo}
-			cfg := jvm.Config{Xms: 500 * units.MiB}
-			if elastic {
-				cfg.Policy = jvm.Adaptive
-				cfg.ElasticHeap = true
-				cfg.ElasticPeriod = 10 * time.Second
-			} else {
-				cfg.Policy = jvm.Vanilla8
-			}
-			j := launchJVM(h, spec, w, cfg)
-			h.RunUntil(j.Done, 6*time.Hour)
-			execs[ci] = j.Stats.ExecTime()
-			gcs[ci] = j.Stats.GCTime
-			so, _ := h.Cgroups.Lookup("c0").Mem.SwapTraffic()
-			swaps[ci] = so
-			ngcs[ci] = j.Stats.MinorGCs + j.Stats.MajorGCs
-		}
+	for bi, name := range names {
+		v, e := bi*nm, bi*nm+1
 		t.AddRow(name,
-			ratio(execs[0], execs[0]), ratio(execs[1], execs[0]),
-			ratio(gcs[0], gcs[0]), ratio(gcs[1], gcs[0]),
-			swaps[0].String(), swaps[1].String(), ngcs[0], ngcs[1])
+			ratio(execs[v], execs[v]), ratio(execs[e], execs[v]),
+			ratio(gcs[v], gcs[v]), ratio(gcs[e], gcs[v]),
+			swaps[v].String(), swaps[e].String(), ngcs[v], ngcs[e])
 	}
 
 	return &Result{

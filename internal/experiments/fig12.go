@@ -59,6 +59,9 @@ func fig12Spec(name string) container.Spec {
 //	(c) five such containers with elastic JVMs: aggregate demand exceeds
 //	    the 128 GiB host, so effective memory converges below the hard
 //	    limit and all complete — while five vanilla JVMs thrash.
+//
+// The four scenarios are independent simulations and fan out across
+// opts.Workers; tables keep their (a), (b), (c) order.
 func Fig12(opts Options) *Result {
 	w := scaleWorkload(workloads.MicroBench(), opts.scale())
 	if opts.Scale > 0 && opts.Scale < 1 {
@@ -70,12 +73,13 @@ func Fig12(opts Options) *Result {
 	sample := 10 * time.Second
 	timeout := 12 * time.Hour
 
-	var tables []*texttable.Table
-	var notes []string
-
-	// (a) and (b): single container.
-	for _, elastic := range []bool{false, true} {
-		h := paperHost(tick)
+	// Trials 0 and 1 are the single-container runs (a) vanilla and
+	// (b) elastic; trials 2 and 3 are the five-container runs (c) elastic
+	// and (c') vanilla. Each writes only its own slot.
+	tables := make([]*texttable.Table, 4)
+	notes := make([]string, 4)
+	opts.forEach(4, func(i int) {
+		elastic := i == 1 || i == 2
 		cfg := jvm.Config{}
 		if elastic {
 			cfg.Policy = jvm.Adaptive
@@ -86,43 +90,37 @@ func Fig12(opts Options) *Result {
 			cfg.Policy = jvm.JDK10
 			cfg.Xmx = 30 * units.GiB
 		}
-		j := launchJVM(h, fig12Spec("c0"), w, cfg)
-		var s heapSampler
-		sampleHeap(h, j, sample, &s)
-		h.RunUntil(j.Done, timeout)
 
-		label := "(a) vanilla JVM, single container"
-		if elastic {
-			label = "(b) elastic JVM, single container"
+		if i < 2 { // (a) and (b): single container.
+			h := paperHost(tick)
+			j := launchJVM(h, fig12Spec("c0"), w, cfg)
+			var s heapSampler
+			sampleHeap(h, j, sample, &s)
+			h.RunUntil(j.Done, timeout)
+
+			label := "(a) vanilla JVM, single container"
+			if elastic {
+				label = "(b) elastic JVM, single container"
+			}
+			s.used.Name, s.committed.Name, s.vmax.Name = "used_GiB", "committed_GiB", "virtualmax_GiB"
+			tables[i] = texttable.SeriesTable(label+" — heap statistics over time", "t_sec", s.used, s.committed, s.vmax)
+			notes[i] = fmt.Sprintf("%s: done=%v exec=%v gcs=%d swap-out=%v",
+				label, j.State(), j.Stats.ExecTime(), j.Stats.MinorGCs+j.Stats.MajorGCs, swapOut(h, "c0"))
+			return
 		}
-		s.used.Name, s.committed.Name, s.vmax.Name = "used_GiB", "committed_GiB", "virtualmax_GiB"
-		tables = append(tables,
-			texttable.SeriesTable(label+" — heap statistics over time", "t_sec", s.used, s.committed, s.vmax))
-		notes = append(notes, fmt.Sprintf("%s: done=%v exec=%v gcs=%d swap-out=%v",
-			label, j.State(), j.Stats.ExecTime(), j.Stats.MinorGCs+j.Stats.MajorGCs, swapOut(h, "c0")))
-	}
 
-	// (c): five elastic containers (and the vanilla comparison's fate).
-	for _, elastic := range []bool{true, false} {
+		// (c) and (c'): five containers.
 		h := paperHost(tick)
 		specs := make([]container.Spec, 5)
-		for i := range specs {
-			specs[i] = fig12Spec(fmt.Sprintf("c%d", i))
+		for k := range specs {
+			specs[k] = fig12Spec(fmt.Sprintf("c%d", k))
 		}
 		var jvms []*jvm.JVM
 		var s heapSampler
-		for i, ctr := range createContainers(h, specs) {
-			cfg := jvm.Config{}
-			if elastic {
-				cfg.Policy = jvm.Adaptive
-				cfg.ElasticHeap = true
-			} else {
-				cfg.Policy = jvm.JDK10
-				cfg.Xmx = 30 * units.GiB
-			}
+		for k, ctr := range createContainers(h, specs) {
 			j := startJVM(h, ctr, w, cfg)
 			jvms = append(jvms, j)
-			if i == 0 {
+			if k == 0 {
 				sampleHeap(h, j, sample, &s)
 			}
 		}
@@ -142,20 +140,26 @@ func Fig12(opts Options) *Result {
 		}
 		if elastic {
 			s.used.Name, s.committed.Name, s.vmax.Name = "used_GiB", "committed_GiB", "virtualmax_GiB"
-			tables = append(tables,
-				texttable.SeriesTable("(c) elastic JVM, five containers — container 0 heap statistics", "t_sec", s.used, s.committed, s.vmax))
-			notes = append(notes, fmt.Sprintf("(c) elastic x5: completed %d/5 (all-done=%v); peak committed per container %v (aggregate fits 128 GiB)",
-				completed, done, converged))
+			tables[i] = texttable.SeriesTable("(c) elastic JVM, five containers — container 0 heap statistics", "t_sec", s.used, s.committed, s.vmax)
+			notes[i] = fmt.Sprintf("(c) elastic x5: completed %d/5 (all-done=%v); peak committed per container %v (aggregate fits 128 GiB)",
+				completed, done, converged)
 		} else {
-			notes = append(notes, fmt.Sprintf("(c') vanilla x5: completed %d/5, OOM-killed %d/5 within %v — the aggregate 5 x 30 GiB demand exceeds the 128 GiB host; thrash and swap exhaustion kill overcommitted JVMs (swap-out %v)",
-				completed, killed, timeout, swapOutTotal(h)))
+			notes[i] = fmt.Sprintf("(c') vanilla x5: completed %d/5, OOM-killed %d/5 within %v — the aggregate 5 x 30 GiB demand exceeds the 128 GiB host; thrash and swap exhaustion kill overcommitted JVMs (swap-out %v)",
+				completed, killed, timeout, swapOutTotal(h))
+		}
+	})
+
+	var outTables []*texttable.Table
+	for _, t := range tables {
+		if t != nil {
+			outTables = append(outTables, t)
 		}
 	}
 
 	return &Result{
 		ID: "fig12", Title: "Used/committed/VirtualMax heap traces (Fig. 12)",
-		Tables: tables,
-		Notes:  notes,
+		Tables: outTables,
+		Notes:  notes[:],
 	}
 }
 

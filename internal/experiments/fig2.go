@@ -22,7 +22,8 @@ func init() {
 // from host CPUs (JDK 8: 15 threads) or the static limit (JDK 9: 10
 // cores -> 9+ threads); the hand-optimized oracle uses 4 — the fair
 // share of 20 cores across 5 containers. Execution time is normalized
-// to Auto_JVM9, as in the paper.
+// to Auto_JVM9, as in the paper. The 5 benchmarks x 4 configurations
+// fan out across opts.Workers.
 func Fig2a(opts Options) *Result {
 	configs := []struct {
 		label string
@@ -33,38 +34,43 @@ func Fig2a(opts Options) *Result {
 		{"auto_jvm8", jvm.Config{Policy: jvm.Vanilla8}},
 		{"opt_jvm8", jvm.Config{Policy: jvm.OptFixed, OptGCThreads: 4}},
 	}
+	names := workloads.DaCapoNames
+	nc := len(configs)
+
+	times := make([]time.Duration, len(names)*nc)
+	pools := make([]int, len(names)*nc)
+	opts.forEach(len(times), func(i int) {
+		name, c := names[i/nc], configs[i%nc]
+		w := scaleWorkload(workloads.DaCapo(name), opts.scale())
+		h := paperHost(time.Millisecond)
+		specs := make([]container.Spec, 5)
+		for k := range specs {
+			specs[k] = container.Spec{
+				Name:       fmt.Sprintf("c%d", k),
+				CPUQuotaUS: 1_000_000, CPUPeriodUS: 100_000, // 10-core limit
+				Gamma: gammaDaCapo,
+			}
+		}
+		var jvms []*jvm.JVM
+		for _, ctr := range createContainers(h, specs) {
+			cfg := c.cfg
+			cfg.Xmx = 3 * w.MinHeap
+			jvms = append(jvms, startJVM(h, ctr, w, cfg))
+		}
+		h.RunUntilDone(2 * time.Hour)
+		times[i], _ = avgExec(jvms)
+		pools[i] = jvms[0].GCThreadPool()
+	})
 
 	t := texttable.New("DaCapo execution time normalized to Auto_JVM9 (lower is better)",
 		"benchmark", "auto_jvm9", "opt_jvm9", "auto_jvm8", "opt_jvm8", "auto_jvm9_gcthreads", "auto_jvm8_gcthreads")
-	for _, name := range workloads.DaCapoNames {
-		w := scaleWorkload(workloads.DaCapo(name), opts.scale())
-		times := make([]time.Duration, len(configs))
-		pools := make([]int, len(configs))
-		for ci, c := range configs {
-			h := paperHost(time.Millisecond)
-			specs := make([]container.Spec, 5)
-			for i := range specs {
-				specs[i] = container.Spec{
-					Name:       fmt.Sprintf("c%d", i),
-					CPUQuotaUS: 1_000_000, CPUPeriodUS: 100_000, // 10-core limit
-					Gamma: gammaDaCapo,
-				}
-			}
-			var jvms []*jvm.JVM
-			for _, ctr := range createContainers(h, specs) {
-				cfg := c.cfg
-				cfg.Xmx = 3 * w.MinHeap
-				jvms = append(jvms, startJVM(h, ctr, w, cfg))
-			}
-			h.RunUntilDone(2 * time.Hour)
-			times[ci], _ = avgExec(jvms)
-			pools[ci] = jvms[0].GCThreadPool()
-		}
-		base := times[0]
+	for bi, name := range names {
+		row := times[bi*nc : (bi+1)*nc]
+		base := row[0]
 		t.AddRow(name,
-			ratio(times[0], base), ratio(times[1], base),
-			ratio(times[2], base), ratio(times[3], base),
-			pools[0], pools[2])
+			ratio(row[0], base), ratio(row[1], base),
+			ratio(row[2], base), ratio(row[3], base),
+			pools[bi*nc+0], pools[bi*nc+2])
 	}
 
 	return &Result{
@@ -81,7 +87,8 @@ func Fig2a(opts Options) *Result {
 // creating host-wide shortage. Hard/Soft JVMs set -Xmx to the hard/soft
 // limit; auto_JVM8 derives 32 GB from host RAM (swaps); auto_JVM9
 // derives 256 MB from the hard limit (OOM for h2). Normalized to
-// hard_jvm8.
+// hard_jvm8. The 5 benchmarks x 4 configurations fan out across
+// opts.Workers.
 func Fig2b(opts Options) *Result {
 	configs := []struct {
 		label string
@@ -92,42 +99,51 @@ func Fig2b(opts Options) *Result {
 		{"auto_jvm8", jvm.Config{Policy: jvm.Vanilla8}}, // -> 32 GiB
 		{"auto_jvm9", jvm.Config{Policy: jvm.JDK9}},     // -> 256 MiB
 	}
+	names := []string{"h2", "xalan", "lusearch", "sunflow", "jython"}
+	nc := len(configs)
+
+	execs := make([]time.Duration, len(names)*nc)
+	fails := make([]string, len(names)*nc)
+	opts.forEach(len(execs), func(i int) {
+		name, c := names[i/nc], configs[i%nc]
+		w := scaleWorkload(workloads.DaCapo(name), opts.scale())
+		h := paperHost(time.Millisecond)
+		spec := container.Spec{
+			Name:    "c0",
+			MemHard: 1 * units.GiB, MemSoft: 500 * units.MiB,
+			Gamma: gammaDaCapo,
+		}
+		// Background pressure first: consume host memory down to
+		// the watermarks so kswapd reclaims from whoever exceeds
+		// its soft limit during the measured run.
+		hog := h.Runtime.Create(container.Spec{Name: "hog"})
+		hog.Exec("memhog")
+		bg := workloads.NewMemHog(h, hog, 127*units.GiB+256*units.MiB, 64*units.GiB, 0)
+		bg.Start()
+		h.RunUntil(bg.Full, time.Minute)
+
+		cfg := c.cfg
+		cfg.Xms = 128 * units.MiB
+		j := launchJVM(h, spec, w, cfg)
+		h.RunUntil(j.Done, 3*time.Hour)
+		if j.Failed() {
+			fails[i] = j.FailReason().String()
+			return
+		}
+		execs[i] = j.Stats.ExecTime()
+	})
 
 	t := texttable.New("DaCapo execution time normalized to hard_JVM8 (lower is better; OOM = crash)",
 		"benchmark", "hard_jvm8", "soft_jvm8", "auto_jvm8", "auto_jvm9")
-	names := []string{"h2", "xalan", "lusearch", "sunflow", "jython"}
-	for _, name := range names {
-		w := scaleWorkload(workloads.DaCapo(name), opts.scale())
-		cells := make([]string, len(configs))
-		var base time.Duration
-		for ci, c := range configs {
-			h := paperHost(time.Millisecond)
-			spec := container.Spec{
-				Name:    "c0",
-				MemHard: 1 * units.GiB, MemSoft: 500 * units.MiB,
-				Gamma: gammaDaCapo,
-			}
-			// Background pressure first: consume host memory down to
-			// the watermarks so kswapd reclaims from whoever exceeds
-			// its soft limit during the measured run.
-			hog := h.Runtime.Create(container.Spec{Name: "hog"})
-			hog.Exec("memhog")
-			bg := workloads.NewMemHog(h, hog, 127*units.GiB+256*units.MiB, 64*units.GiB, 0)
-			bg.Start()
-			h.RunUntil(bg.Full, time.Minute)
-
-			cfg := c.cfg
-			cfg.Xms = 128 * units.MiB
-			j := launchJVM(h, spec, w, cfg)
-			h.RunUntil(j.Done, 3*time.Hour)
-			if j.Failed() {
-				cells[ci] = j.FailReason().String()
+	for bi, name := range names {
+		cells := make([]string, nc)
+		base := execs[bi*nc] // hard_jvm8 is the normalization base
+		for ci := range configs {
+			if reason := fails[bi*nc+ci]; reason != "" {
+				cells[ci] = reason
 				continue
 			}
-			if ci == 0 {
-				base = j.Stats.ExecTime()
-			}
-			cells[ci] = ratio(j.Stats.ExecTime(), base)
+			cells[ci] = ratio(execs[bi*nc+ci], base)
 		}
 		t.AddRow(name, cells[0], cells[1], cells[2], cells[3])
 	}

@@ -27,6 +27,23 @@ func fig6Run(w jvm.Workload, policy jvm.PolicyKind) (exec, gc time.Duration) {
 	return exec, avgGC(jvms)
 }
 
+// policySweep runs fig6Run for every (workload, policy) pair — each an
+// independent simulation — across opts.Workers, returning results
+// indexed [workload][policy].
+func policySweep(opts Options, ws []jvm.Workload, policies []jvm.PolicyKind) (execs, gcs [][]time.Duration) {
+	np := len(policies)
+	flatExec := make([]time.Duration, len(ws)*np)
+	flatGC := make([]time.Duration, len(ws)*np)
+	opts.forEach(len(flatExec), func(i int) {
+		flatExec[i], flatGC[i] = fig6Run(ws[i/np], policies[i%np])
+	})
+	for wi := range ws {
+		execs = append(execs, flatExec[wi*np:(wi+1)*np])
+		gcs = append(gcs, flatGC[wi*np:(wi+1)*np])
+	}
+	return execs, gcs
+}
+
 // Fig6 reproduces Fig. 6: five containers sharing 20 cores, each running
 // the same benchmark; vanilla (static GC threads from 20 host CPUs),
 // dynamic (HotSpot's dynamic GC threads), and adaptive (GC threads from
@@ -42,26 +59,26 @@ func Fig6(opts Options) *Result {
 	tc := texttable.New("(c) GC time, normalized to vanilla (lower is better)",
 		"benchmark", "vanilla", "dynamic", "adaptive")
 
-	run := func(w jvm.Workload) (execs, gcs [3]time.Duration) {
-		for i, p := range policies {
-			execs[i], gcs[i] = fig6Run(w, p)
-		}
-		return
-	}
-
+	var ws []jvm.Workload
 	for _, name := range workloads.DaCapoNames {
-		w := scaleWorkload(workloads.DaCapo(name), opts.scale())
-		execs, gcs := run(w)
-		ta.AddRow(name, ratio(execs[0], execs[0]), ratio(execs[1], execs[0]), ratio(execs[2], execs[0]))
-		tc.AddRow(name, ratio(gcs[0], gcs[0]), ratio(gcs[1], gcs[0]), ratio(gcs[2], gcs[0]))
+		ws = append(ws, scaleWorkload(workloads.DaCapo(name), opts.scale()))
 	}
 	for _, name := range workloads.SPECjvmNames {
-		w := scaleWorkload(workloads.SPECjvm(name), opts.scale())
-		execs, gcs := run(w)
+		ws = append(ws, scaleWorkload(workloads.SPECjvm(name), opts.scale()))
+	}
+	execs, gcs := policySweep(opts, ws, policies)
+
+	for wi, name := range workloads.DaCapoNames {
+		e, g := execs[wi], gcs[wi]
+		ta.AddRow(name, ratio(e[0], e[0]), ratio(e[1], e[0]), ratio(e[2], e[0]))
+		tc.AddRow(name, ratio(g[0], g[0]), ratio(g[1], g[0]), ratio(g[2], g[0]))
+	}
+	for si, name := range workloads.SPECjvmNames {
+		e, g := execs[len(workloads.DaCapoNames)+si], gcs[len(workloads.DaCapoNames)+si]
 		// Throughput is ops per unit time: normalized throughput is the
 		// inverse ratio of completion times.
-		tb.AddRow(name, ratio(execs[0], execs[0]), ratio(execs[0], execs[1]), ratio(execs[0], execs[2]))
-		tc.AddRow(name, ratio(gcs[0], gcs[0]), ratio(gcs[1], gcs[0]), ratio(gcs[2], gcs[0]))
+		tb.AddRow(name, ratio(e[0], e[0]), ratio(e[0], e[1]), ratio(e[0], e[2]))
+		tc.AddRow(name, ratio(g[0], g[0]), ratio(g[1], g[0]), ratio(g[2], g[0]))
 	}
 
 	return &Result{

@@ -21,40 +21,54 @@ func init() {
 // configuration uses no mask: containers share all 20 cores with equal
 // shares and the JVM follows E_CPU. Panels (a-e) are execution time,
 // (f-j) GC time.
+//
+// The 5 benchmarks x 5 container counts x 2 modes are 50 independent
+// simulations, fanned out across opts.Workers.
 func Fig7(opts Options) *Result {
 	counts := []int{2, 4, 6, 8, 10}
+	modes := []string{"jvm9", "adaptive"}
+	names := workloads.DaCapoNames
+	nc, nm := len(counts), len(modes)
+
+	execs := make([]time.Duration, len(names)*nc*nm)
+	gcs := make([]time.Duration, len(names)*nc*nm)
+	opts.forEach(len(execs), func(i int) {
+		bi, rest := i/(nc*nm), i%(nc*nm)
+		ci, mi := rest/nm, rest%nm
+		w := scaleWorkload(workloads.DaCapo(names[bi]), opts.scale())
+		n := counts[ci]
+		mode := modes[mi]
+
+		h := paperHost(time.Millisecond)
+		specs := make([]container.Spec, n)
+		for k := range specs {
+			specs[k] = container.Spec{Name: fmt.Sprintf("c%d", k), Gamma: gammaDaCapo}
+			if mode == "jvm9" {
+				specs[k].CpusetCPUs = 2
+			}
+		}
+		var jvms []*jvm.JVM
+		for _, ctr := range createContainers(h, specs) {
+			cfg := jvm.Config{Xmx: 3 * w.MinHeap}
+			if mode == "jvm9" {
+				cfg.Policy = jvm.JDK9
+			} else {
+				cfg.Policy = jvm.Adaptive
+			}
+			jvms = append(jvms, startJVM(h, ctr, w, cfg))
+		}
+		h.RunUntilDone(3 * time.Hour)
+		execs[i], _ = avgExec(jvms)
+		gcs[i] = avgGC(jvms)
+	})
 
 	var tables []*texttable.Table
-	for _, name := range workloads.DaCapoNames {
-		w := scaleWorkload(workloads.DaCapo(name), opts.scale())
+	for bi, name := range names {
 		t := texttable.New(fmt.Sprintf("%s: execution and GC time vs number of containers", name),
 			"containers", "jvm9_exec", "adaptive_exec", "jvm9_gc", "adaptive_gc")
-		for _, n := range counts {
-			var execs, gcs [2]time.Duration
-			for ci, mode := range []string{"jvm9", "adaptive"} {
-				h := paperHost(time.Millisecond)
-				specs := make([]container.Spec, n)
-				for i := range specs {
-					specs[i] = container.Spec{Name: fmt.Sprintf("c%d", i), Gamma: gammaDaCapo}
-					if mode == "jvm9" {
-						specs[i].CpusetCPUs = 2
-					}
-				}
-				var jvms []*jvm.JVM
-				for _, ctr := range createContainers(h, specs) {
-					cfg := jvm.Config{Xmx: 3 * w.MinHeap}
-					if mode == "jvm9" {
-						cfg.Policy = jvm.JDK9
-					} else {
-						cfg.Policy = jvm.Adaptive
-					}
-					jvms = append(jvms, startJVM(h, ctr, w, cfg))
-				}
-				h.RunUntilDone(3 * time.Hour)
-				execs[ci], _ = avgExec(jvms)
-				gcs[ci] = avgGC(jvms)
-			}
-			t.AddRow(n, secs(execs[0]), secs(execs[1]), secs(gcs[0]), secs(gcs[1]))
+		for ci, n := range counts {
+			at := func(mi int) int { return bi*nc*nm + ci*nm + mi }
+			t.AddRow(n, secs(execs[at(0)]), secs(execs[at(1)]), secs(gcs[at(0)]), secs(gcs[at(1)]))
 		}
 		tables = append(tables, t)
 	}

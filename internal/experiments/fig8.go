@@ -51,6 +51,21 @@ func fig8Run(w jvm.Workload, policy jvm.PolicyKind) (*jvm.JVM, time.Duration, ti
 	return j, j.Stats.ExecTime(), j.Stats.GCTime
 }
 
+// fig8Sweep runs fig8Run for every (benchmark, policy) pair — each an
+// independent simulation — across opts.Workers, returning results
+// indexed [benchmark*len(policies)+policy].
+func fig8Sweep(opts Options, names []string, policies []jvm.PolicyKind) (jvms []*jvm.JVM, execs, gcs []time.Duration) {
+	np := len(policies)
+	jvms = make([]*jvm.JVM, len(names)*np)
+	execs = make([]time.Duration, len(names)*np)
+	gcs = make([]time.Duration, len(names)*np)
+	opts.forEach(len(jvms), func(i int) {
+		w := scaleWorkload(workloads.DaCapo(names[i/np]), opts.scale())
+		jvms[i], execs[i], gcs[i] = fig8Run(w, policies[i%np])
+	})
+	return jvms, execs, gcs
+}
+
 // Fig8 reproduces Fig. 8: ten equal-share containers; one runs a DaCapo
 // benchmark, nine run sysbench jobs that complete at different times.
 // JVM10 derives a static 2-core count from shares (ceil(1/10 x 20)) and
@@ -58,24 +73,24 @@ func fig8Run(w jvm.Workload, policy jvm.PolicyKind) (*jvm.JVM, time.Duration, ti
 // (a) GC time per benchmark (normalized to vanilla), (b) the GC-thread
 // trace for sunflow.
 func Fig8(opts Options) *Result {
+	policies := []jvm.PolicyKind{jvm.Vanilla8, jvm.JDK10, jvm.Adaptive}
+	names := workloads.DaCapoNames
+	np := len(policies)
+
+	jvms, execs, gcs := fig8Sweep(opts, names, policies)
+
 	ta := texttable.New("(a) GC time normalized to vanilla (lower is better)",
 		"benchmark", "vanilla", "jvm10", "adaptive", "exec_vanilla", "exec_jvm10", "exec_adaptive")
-	policies := []jvm.PolicyKind{jvm.Vanilla8, jvm.JDK10, jvm.Adaptive}
-
 	var sunflowTrace *jvm.JVM
-	for _, name := range workloads.DaCapoNames {
-		w := scaleWorkload(workloads.DaCapo(name), opts.scale())
-		var gcs, execs [3]time.Duration
-		for i, p := range policies {
-			j, exec, gc := fig8Run(w, p)
-			gcs[i], execs[i] = gc, exec
-			if name == "sunflow" && p == jvm.Adaptive {
-				sunflowTrace = j
-			}
+	for bi, name := range names {
+		g := gcs[bi*np : (bi+1)*np]
+		e := execs[bi*np : (bi+1)*np]
+		if name == "sunflow" {
+			sunflowTrace = jvms[bi*np+2] // the adaptive run
 		}
 		ta.AddRow(name,
-			ratio(gcs[0], gcs[0]), ratio(gcs[1], gcs[0]), ratio(gcs[2], gcs[0]),
-			secs(execs[0]), secs(execs[1]), secs(execs[2]))
+			ratio(g[0], g[0]), ratio(g[1], g[0]), ratio(g[2], g[0]),
+			secs(e[0]), secs(e[1]), secs(e[2]))
 	}
 
 	tb := texttable.New("(b) number of GC threads across sunflow's collections (adaptive)",

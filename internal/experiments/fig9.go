@@ -1,8 +1,6 @@
 package experiments
 
 import (
-	"time"
-
 	"arv/internal/jvm"
 	"arv/internal/texttable"
 	"arv/internal/workloads"
@@ -18,7 +16,7 @@ func init() {
 // Unlike DaCapo, these heaps are large enough that the dynamic-threads
 // heuristic no longer caps parallelism, so only the adaptive JVM avoids
 // over-threading. Both execution time and GC time are normalized to
-// vanilla.
+// vanilla. The 4 applications x 3 policies fan out across opts.Workers.
 func Fig9(opts Options) *Result {
 	policies := []jvm.PolicyKind{jvm.Vanilla8, jvm.Dynamic8, jvm.Adaptive}
 
@@ -27,14 +25,16 @@ func Fig9(opts Options) *Result {
 	tb := texttable.New("(b) GC time normalized to vanilla (lower is better)",
 		"application", "vanilla", "dynamic", "adaptive")
 
+	var ws []jvm.Workload
 	for _, name := range workloads.HiBenchNames {
-		w := scaleWorkload(workloads.HiBench(name), opts.scale())
-		var execs, gcs [3]time.Duration
-		for i, p := range policies {
-			execs[i], gcs[i] = fig6Run(w, p)
-		}
-		ta.AddRow(name, ratio(execs[0], execs[0]), ratio(execs[1], execs[0]), ratio(execs[2], execs[0]))
-		tb.AddRow(name, ratio(gcs[0], gcs[0]), ratio(gcs[1], gcs[0]), ratio(gcs[2], gcs[0]))
+		ws = append(ws, scaleWorkload(workloads.HiBench(name), opts.scale()))
+	}
+	execs, gcs := policySweep(opts, ws, policies)
+
+	for wi, name := range workloads.HiBenchNames {
+		e, g := execs[wi], gcs[wi]
+		ta.AddRow(name, ratio(e[0], e[0]), ratio(e[1], e[0]), ratio(e[2], e[0]))
+		tb.AddRow(name, ratio(g[0], g[0]), ratio(g[1], g[0]), ratio(g[2], g[0]))
 	}
 
 	return &Result{

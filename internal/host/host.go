@@ -9,11 +9,16 @@
 //
 //	schedule → clock/timers → programs → observe
 //
-// The schedule phase distributes CPU and advances task work for the
-// tick; the clock phase moves virtual time forward and fires due timers
-// (sys_namespace updates among them); the program phase polls live
-// programs and compacts finished ones out of the program list; the
-// observe phase records kernel-level telemetry.
+// The schedule phase runs every registered Subsystem's Tick in order
+// (the CFS scheduler distributes CPU and advances task work; the other
+// subsystems are event-driven and tick as no-ops); the clock phase moves
+// virtual time forward and fires due timers (sys_namespace updates among
+// them); the program phase polls live programs and compacts finished
+// ones out of the program list; the observe phase records kernel-level
+// telemetry. The kernel holds no subsystem-specific logic: components
+// join the loop through the Subsystem interface, and each Host owns its
+// complete state (clock, PRNG, telemetry ring, cgroup event bus), so
+// independent Hosts can run on separate goroutines with no sharing.
 //
 // On top of dense stepping the kernel fast-forwards across provably
 // idle spans: when no task is runnable and every live program has
@@ -106,6 +111,7 @@ type Host struct {
 
 	tick        time.Duration
 	programs    []Program
+	subsystems  []Subsystem
 	fastForward bool
 }
 
@@ -139,8 +145,24 @@ func New(cfg Config) *Host {
 		tick:        tick,
 		fastForward: !cfg.DisableFastForward,
 	}
+	// The kernel loop drives these in order; only the scheduler does
+	// dense per-tick work, the rest contribute events and telemetry.
+	h.subsystems = []Subsystem{sched, mem, mon, timerWheel{clock}}
 	mon.Start()
 	return h
+}
+
+// Subsystems returns the components the kernel loop drives, in phase
+// order.
+func (h *Host) Subsystems() []Subsystem { return h.subsystems }
+
+// AddSubsystem registers an additional component with the kernel loop.
+// It participates in every phase from the next Step on: its Tick runs in
+// the schedule phase, its NextEvent bounds fast-forward jumps, and its
+// SkipIdle replays elided spans.
+func (h *Host) AddSubsystem(ss Subsystem) {
+	h.subsystems = append(h.subsystems, ss)
+	ss.AttachTelemetry(h.Trace)
 }
 
 // Tick returns the host's simulation step size.
@@ -161,14 +183,14 @@ func (h *Host) Programs() int { return len(h.programs) }
 func (h *Host) SetFastForward(enabled bool) { h.fastForward = enabled }
 
 // EnableTelemetry attaches a fresh tracer (ring capacity ringSize;
-// telemetry.DefaultRingSize if <= 0) to the host and its subsystems and
-// returns it.
+// telemetry.DefaultRingSize if <= 0) to the host and every registered
+// subsystem and returns it.
 func (h *Host) EnableTelemetry(ringSize int) *telemetry.Tracer {
 	tr := telemetry.New(ringSize)
 	h.Trace = tr
-	h.Sched.Trace = tr
-	h.Mem.Trace = tr
-	h.Monitor.Trace = tr
+	for _, ss := range h.subsystems {
+		ss.AttachTelemetry(tr)
+	}
 	return tr
 }
 
@@ -183,11 +205,14 @@ func (h *Host) Step() sim.Time {
 	return now
 }
 
-// phaseSchedule runs one scheduler allocation round for the upcoming
-// tick. The scheduler is handed the tick's end time, matching the
+// phaseSchedule runs one dense tick round through every subsystem, in
+// registration order. Each is handed the tick's end time, matching the
 // timestamp programs and timers will observe.
 func (h *Host) phaseSchedule() {
-	h.Sched.Tick(h.Clock.Now()+h.tick, h.tick)
+	end := h.Clock.Now() + h.tick
+	for _, ss := range h.subsystems {
+		ss.Tick(end, h.tick)
+	}
 }
 
 // phaseClock advances virtual time by one tick and fires due timers.
@@ -244,23 +269,19 @@ func (h *Host) step(limit sim.Time) sim.Time {
 // idleTicks returns how many upcoming ticks can be skipped in one jump,
 // or 0 when the host must step densely. A span qualifies only when no
 // task is runnable and every live program has a wake policy; the jump
-// stops one tick short of the earliest interesting instant (timer
-// deadline, scheduler or memory event, program wake, or limit) so that
-// tick runs densely.
+// stops one tick short of the earliest interesting instant (any
+// subsystem's next event — timer deadline, quota-period boundary, swap
+// drain —, program wake, or limit) so that tick runs densely.
 func (h *Host) idleTicks(limit sim.Time) int {
 	if h.Sched.RunnableNow() != 0 {
 		return 0
 	}
 	now := h.Clock.Now()
 	target := limit
-	if d, ok := h.Clock.NextDeadline(); ok && d < target {
-		target = d
-	}
-	if t, ok := h.Sched.NextEvent(now); ok && t < target {
-		target = t
-	}
-	if t, ok := h.Mem.NextEvent(now); ok && t < target {
-		target = t
+	for _, ss := range h.subsystems {
+		if t, ok := ss.NextEvent(now); ok && t < target {
+			target = t
+		}
 	}
 	for _, p := range h.programs {
 		if p.Done() {
@@ -285,13 +306,15 @@ func (h *Host) idleTicks(limit sim.Time) int {
 	return k
 }
 
-// phaseFastForward replays k idle ticks in one jump: the scheduler
-// replays its idle accounting tick-by-tick (bit-identical with dense
-// stepping) and the clock advances to the end of the span. By
+// phaseFastForward replays k idle ticks in one jump: every subsystem
+// replays its idle accounting (the scheduler tick-by-tick, bit-identical
+// with dense stepping) and the clock advances to the end of the span. By
 // construction no timer deadline falls inside the span.
 func (h *Host) phaseFastForward(k int) {
 	now := h.Clock.Now()
-	h.Sched.SkipIdle(now+h.tick, h.tick, k)
+	for _, ss := range h.subsystems {
+		ss.SkipIdle(now+h.tick, h.tick, k)
+	}
 	h.Clock.Advance(now + time.Duration(k)*h.tick)
 	h.Trace.Add(telemetry.CtrFastForwards, 1)
 	h.Trace.Add(telemetry.CtrSkippedTicks, uint64(k))

@@ -1,0 +1,112 @@
+package integration
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"arv/internal/container"
+	"arv/internal/host"
+	"arv/internal/jvm"
+	"arv/internal/sim"
+	"arv/internal/units"
+)
+
+// isolationVariant distinguishes the two concurrent scenarios so that
+// cross-host leakage cannot hide behind identical inputs.
+type isolationVariant struct {
+	seed    uint64
+	memHard units.Bytes
+	gamma   float64
+}
+
+// isolationRun executes the seeded kernel scenario (an overcommitted,
+// swap-stalling JVM — every subsystem active) on a fresh Host and
+// returns its sampled history and final JVM statistics. Telemetry is on
+// so the tracer ring is exercised too.
+func isolationRun(v isolationVariant) (samples []kernelSample, exec, gc time.Duration) {
+	h := host.New(host.Config{CPUs: 8, Memory: 16 * units.GiB, Seed: v.seed})
+	h.EnableTelemetry(0)
+	ctr := h.Runtime.Create(container.Spec{Name: "a", MemHard: v.memHard, Gamma: v.gamma})
+	ctr.Exec("java")
+	w := jvm.Workload{
+		Name: "press", TotalWork: 4, Threads: 4,
+		AllocPerCPUSec: 200 * units.MiB, LiveSet: 50 * units.MiB,
+		MinHeap: 80 * units.MiB, SurviveFrac: 0.1, GCSerialFrac: 0.2,
+	}
+	j := jvm.New(h, ctr, w, jvm.Config{Policy: jvm.Vanilla8, Xmx: units.GiB, Xms: 256 * units.MiB})
+	j.Start()
+
+	h.Clock.Every(10*time.Millisecond, func(now sim.Time) {
+		samples = append(samples, kernelSample{
+			at:   now,
+			ecpu: ctr.NS.EffectiveCPU(),
+			emem: ctr.NS.EffectiveMemory(),
+			load: h.Sched.LoadAvg(),
+			free: h.Mem.Free(),
+			swap: h.Mem.Swap().Used(),
+		})
+	})
+	h.RunUntilDone(30 * time.Minute)
+	h.Run(2 * time.Second)
+	return samples, j.Stats.ExecTime(), j.Stats.GCTime
+}
+
+// TestCrossHostIsolation is the share-nothing proof behind the parallel
+// experiment runner: two Hosts stepped concurrently on separate
+// goroutines must produce histories identical to the same seeds run
+// sequentially. Any shared mutable state between Host instances — a
+// package-level PRNG, a shared telemetry ring, a global cgroup event
+// bus — shows up either as a history divergence here or as a data race
+// under `go test -race`.
+func TestCrossHostIsolation(t *testing.T) {
+	variants := []isolationVariant{
+		{seed: 11, memHard: 96 * units.MiB, gamma: 0.5},
+		{seed: 23, memHard: 144 * units.MiB, gamma: 0.8},
+	}
+	type run struct {
+		samples  []kernelSample
+		exec, gc time.Duration
+	}
+
+	base := make([]run, len(variants))
+	for i, v := range variants {
+		base[i].samples, base[i].exec, base[i].gc = isolationRun(v)
+		if len(base[i].samples) == 0 {
+			t.Fatalf("variant %d produced no history", i)
+		}
+	}
+	if base[0].exec == base[1].exec {
+		t.Fatal("both variants produced identical exec times; the test would not detect cross-host leakage")
+	}
+
+	conc := make([]run, len(variants))
+	var wg sync.WaitGroup
+	for i, v := range variants {
+		wg.Add(1)
+		go func(i int, v isolationVariant) {
+			defer wg.Done()
+			conc[i].samples, conc[i].exec, conc[i].gc = isolationRun(v)
+		}(i, v)
+	}
+	wg.Wait()
+
+	for i := range variants {
+		if conc[i].exec != base[i].exec || conc[i].gc != base[i].gc {
+			t.Errorf("variant %d: concurrent JVM stats (exec %v, gc %v) differ from sequential (exec %v, gc %v)",
+				i, conc[i].exec, conc[i].gc, base[i].exec, base[i].gc)
+		}
+		if len(conc[i].samples) != len(base[i].samples) {
+			t.Errorf("variant %d: history lengths differ: concurrent %d, sequential %d",
+				i, len(conc[i].samples), len(base[i].samples))
+			continue
+		}
+		for k := range base[i].samples {
+			if conc[i].samples[k] != base[i].samples[k] {
+				t.Errorf("variant %d: histories diverge at sample %d:\nsequential %+v\nconcurrent %+v",
+					i, k, base[i].samples[k], conc[i].samples[k])
+				break
+			}
+		}
+	}
+}

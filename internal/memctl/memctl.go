@@ -544,6 +544,24 @@ func (c *Controller) maxResident() *Group {
 	return best
 }
 
+// SubsystemName identifies the controller in telemetry and diagnostics;
+// with Tick, NextEvent, SkipIdle, and AttachTelemetry it satisfies the
+// host kernel's Subsystem interface.
+func (c *Controller) SubsystemName() string { return "memctl" }
+
+// Tick is the controller's dense per-tick hook. Memory state only
+// changes through explicit charges, touches, and cgroup writes — never
+// by time passing — so it is a no-op.
+func (c *Controller) Tick(now sim.Time, dt time.Duration) {}
+
+// SkipIdle replays an idle span. No task runs during a skipped span, so
+// no allocation or fault can occur and there is no accounting to replay.
+func (c *Controller) SkipIdle(now sim.Time, dt time.Duration, n int) {}
+
+// AttachTelemetry sets (or, with nil, clears) the controller's trace
+// sink.
+func (c *Controller) AttachTelemetry(tr *telemetry.Tracer) { c.Trace = tr }
+
 // stall converts swap traffic to I/O wait, queueing behind whatever the
 // shared device is already serving.
 // NextEvent reports the next instant the memory subsystem changes state

@@ -175,6 +175,29 @@ func (m *Monitor) Stop() {
 	m.started = false
 }
 
+// SubsystemName identifies the monitor in telemetry and diagnostics;
+// with Tick, NextEvent, SkipIdle, and AttachTelemetry it satisfies the
+// host kernel's Subsystem interface.
+func (m *Monitor) SubsystemName() string { return "sysns" }
+
+// Tick is the monitor's dense per-tick hook. Updates are driven by the
+// periodic timer (armed in the clock's timer wheel) and by cgroup
+// events, so it is a no-op.
+func (m *Monitor) Tick(now sim.Time, dt time.Duration) {}
+
+// NextEvent reports no self-scheduled instant: the monitor's update
+// timer lives in the clock's timer wheel, which already bounds every
+// fast-forward jump through the kernel's timers subsystem.
+func (m *Monitor) NextEvent(now sim.Time) (sim.Time, bool) { return 0, false }
+
+// SkipIdle replays an idle span. The monitor's periodic update never
+// falls inside one (its timer deadline bounds the jump), so there is
+// nothing to replay.
+func (m *Monitor) SkipIdle(now sim.Time, dt time.Duration, n int) {}
+
+// AttachTelemetry sets (or, with nil, clears) the monitor's trace sink.
+func (m *Monitor) AttachTelemetry(tr *telemetry.Tracer) { m.Trace = tr }
+
 // UpdateAll runs one Algorithm 1 + Algorithm 2 round for every
 // namespace. Exposed so tests and benchmarks can drive updates without
 // the timer.
