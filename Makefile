@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench golden golden-parallel ci
+.PHONY: build vet test race bench docs golden golden-parallel ci
 
 build:
 	$(GO) build ./...
@@ -17,6 +17,12 @@ race:
 bench:
 	$(GO) test -run xxx -bench . -benchtime=1x .
 
+# Documentation gate: every package needs a package comment, and the
+# public API (arv) plus internal/sysns and internal/faults must have no
+# undocumented exported symbols.
+docs:
+	$(GO) run ./internal/tools/docscheck
+
 # Rewrite testdata/golden after an intentional model change.
 golden:
 	$(GO) test -run TestExperimentsMatchGolden -update-golden .
@@ -25,4 +31,4 @@ golden:
 golden-parallel:
 	$(GO) test -count=1 -run TestExperimentsMatchGolden -golden-workers 8 .
 
-ci: build vet test race bench golden-parallel
+ci: build vet docs test race bench golden-parallel

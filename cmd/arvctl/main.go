@@ -12,6 +12,13 @@
 //	sysbench a 4 10
 //	advance 2s
 //	top" | arvctl -
+//
+// Scripts can also exercise the deterministic fault injector — drop or
+// delay cgroup events, lag the ns_monitor update loop, churn limits,
+// kill and restart containers — via the `fault` command family;
+// examples/faults.arv walks through all of it:
+//
+//	arvctl examples/faults.arv
 package main
 
 import (

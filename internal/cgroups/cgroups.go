@@ -56,13 +56,24 @@ type Event struct {
 	Cgroup *Cgroup
 }
 
+// Interceptor vets a limit-change event before it reaches subscribers.
+// Returning false suppresses delivery (the interceptor may arrange a
+// later Redeliver). Only CPUChanged and MemChanged events are offered
+// to the interceptor: lifecycle events (Created, Removed) are always
+// delivered, since dropping them would leave subscribers — ns_monitor
+// chief among them — holding namespaces for cgroups that no longer
+// exist. The fault-injection layer (internal/faults) is the intended
+// client.
+type Interceptor func(Event) bool
+
 // Hierarchy owns the set of cgroups on a host.
 type Hierarchy struct {
 	sched *cfs.Scheduler
 	mem   *memctl.Controller
 
-	cgroups []*Cgroup
-	subs    []func(Event)
+	cgroups     []*Cgroup
+	subs        []func(Event)
+	interceptor Interceptor
 }
 
 // NewHierarchy returns an empty hierarchy bound to the host's scheduler
@@ -80,7 +91,25 @@ func (h *Hierarchy) Memory() *memctl.Controller { return h.mem }
 // Subscribe registers fn to receive all future events.
 func (h *Hierarchy) Subscribe(fn func(Event)) { h.subs = append(h.subs, fn) }
 
+// Intercept installs fn as the hierarchy's event interceptor (nil
+// removes it). At most one interceptor is active at a time.
+func (h *Hierarchy) Intercept(fn Interceptor) { h.interceptor = fn }
+
+// Redeliver publishes e to all subscribers, bypassing the interceptor.
+// It is how an interceptor that deferred an event eventually hands it
+// over.
+func (h *Hierarchy) Redeliver(e Event) {
+	for _, fn := range h.subs {
+		fn(e)
+	}
+}
+
 func (h *Hierarchy) publish(e Event) {
+	if h.interceptor != nil && (e.Kind == CPUChanged || e.Kind == MemChanged) {
+		if !h.interceptor(e) {
+			return
+		}
+	}
 	for _, fn := range h.subs {
 		fn(e)
 	}

@@ -36,7 +36,7 @@ func cell(t *testing.T, tb *texttable.Table, row, col int) float64 {
 }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"abl-cpu", "abl-mem", "abl-period", "ext-httpd", "ext-launch", "ext-views", "fig1", "fig10", "fig11", "fig12", "fig2a", "fig2b", "fig6", "fig7", "fig8", "fig9"}
+	want := []string{"abl-cpu", "abl-mem", "abl-period", "ext-httpd", "ext-launch", "ext-views", "fault-churn", "fault-staleness", "fig1", "fig10", "fig11", "fig12", "fig2a", "fig2b", "fig6", "fig7", "fig8", "fig9"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("registered %d experiments, want %d", len(all), len(want))
@@ -276,5 +276,67 @@ func TestScaleOption(t *testing.T) {
 	}
 	if (Options{Scale: 0.5}).scale() != 0.5 {
 		t.Error("explicit scale lost")
+	}
+}
+
+// The staleness experiment's acceptance shape: effective-CPU error is
+// zero at lag 0, grows monotonically with injected lag, and collapses
+// again when graceful degradation is armed at the worst lag.
+func TestFaultStalenessMonotoneAndDegraded(t *testing.T) {
+	res := smoke(t, "fault-staleness")
+	tb := res.Tables[0]
+	if len(tb.Rows) != 5 {
+		t.Fatalf("fault-staleness has %d rows, want 5", len(tb.Rows))
+	}
+	errs := make([]float64, 5)
+	for i := range errs {
+		errs[i] = cell(t, tb, i, 1)
+	}
+	if errs[0] != 0 {
+		t.Fatalf("lag-0 cpu_err = %v, want 0 (it is its own reference)", errs[0])
+	}
+	for i := 1; i < 4; i++ {
+		if errs[i] < errs[i-1] {
+			t.Fatalf("cpu_err not monotone in lag: %v", errs)
+		}
+	}
+	if errs[3] == 0 {
+		t.Fatal("worst lag produced no error; the fault path cannot be active")
+	}
+	if errs[4] >= errs[3] {
+		t.Fatalf("degradation row err %v not below same-lag row %v", errs[4], errs[3])
+	}
+	if cell(t, tb, 4, 4) == 0 {
+		t.Fatal("degraded row recorded no staleness fallbacks")
+	}
+	for i := 0; i < 4; i++ {
+		if cell(t, tb, i, 4) != 0 {
+			t.Fatalf("row %d recorded fallbacks without a staleness budget", i)
+		}
+	}
+}
+
+// The churn experiment's acceptance shape: the baseline row sees no
+// faults, the fault rows see churn and dropped events, and only the
+// degraded row resyncs.
+func TestFaultChurnCounters(t *testing.T) {
+	res := smoke(t, "fault-churn")
+	tb := res.Tables[0]
+	if len(tb.Rows) != 3 {
+		t.Fatalf("fault-churn has %d rows, want 3", len(tb.Rows))
+	}
+	if cell(t, tb, 0, 5) != 0 || cell(t, tb, 0, 6) != 0 || cell(t, tb, 0, 7) != 0 {
+		t.Fatalf("baseline row saw faults: %v", tb.Rows[0])
+	}
+	for i := 1; i < 3; i++ {
+		if cell(t, tb, i, 5) == 0 || cell(t, tb, i, 6) == 0 {
+			t.Fatalf("fault row %d missing churns/drops: %v", i, tb.Rows[i])
+		}
+	}
+	if cell(t, tb, 1, 7) != 0 {
+		t.Fatal("non-degraded fault row ran resyncs")
+	}
+	if cell(t, tb, 2, 7) == 0 {
+		t.Fatal("degraded row ran no resyncs")
 	}
 }

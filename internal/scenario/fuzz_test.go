@@ -24,6 +24,13 @@ func FuzzLine(f *testing.F) {
 		"wait 1s",
 		"top",
 		"destroy a",
+		"fault seed 7",
+		"fault events drop=0.5 delay=10ms jitter=0.2",
+		"fault monitor lag=20ms miss=0.1",
+		"fault degrade budget=50ms resync=100ms",
+		"fault churn seed interval=100ms quota=1:2 count=3",
+		"fault kill seed at=100ms restart delay=50ms",
+		"fault churn seed interval=-1s",
 		"create \x00weird",
 		"host -1 0GiB",
 		"jvm nope nope nope nope=nope",

@@ -18,6 +18,30 @@
 //	advance DURATION
 //	wait DURATION
 //	top
+//	fault seed N
+//	fault events [drop=PROB] [delay=DURATION] [jitter=FRAC]
+//	fault monitor [lag=DURATION] [jitter=FRAC] [miss=PROB]
+//	fault degrade [budget=DURATION] [resync=DURATION]
+//	fault churn NAME interval=DURATION [jitter=FRAC] [quota=MIN:MAX]
+//	            [hard=SIZE:SIZE] [count=N]
+//	fault kill NAME at=DURATION [restart] [delay=DURATION]
+//
+// The fault family drives the deterministic fault injector
+// (internal/faults) against the script's host. `fault events` drops or
+// delays cgroup limit-change events before ns_monitor sees them;
+// `fault monitor` postpones or skips its periodic update rounds;
+// `fault degrade` arms the graceful-degradation machinery
+// (bounded-staleness fallback and retry-with-backoff resync) that
+// recovers from them. `fault churn` rewrites a container's cpu quota
+// and/or memory limits on a schedule (ranges are MIN:MAX, values drawn
+// uniformly), and `fault kill` destroys a container at a virtual-time
+// offset — with `restart` it is recreated (same spec, after `delay`)
+// and the script's name re-binds to the new container; its workloads
+// are not relaunched. Omitting an option selects zero (fault off), so
+// re-issuing `fault events` with no options clears the event faults.
+// All probabilistic decisions come from the injector's own seeded RNG
+// (`fault seed`, default 1): replaying a script reproduces the exact
+// same fault schedule.
 package scenario
 
 import (
@@ -30,6 +54,7 @@ import (
 	"time"
 
 	"arv/internal/container"
+	"arv/internal/faults"
 	"arv/internal/host"
 	"arv/internal/jvm"
 	"arv/internal/omp"
@@ -44,6 +69,7 @@ type Interp struct {
 	Out io.Writer
 
 	h     *host.Host
+	inj   *faults.Injector
 	ctrs  map[string]*container.Container
 	pods  map[string]*container.Pod
 	progs []host.Program
@@ -139,6 +165,8 @@ func (in *Interp) exec(args []string) error {
 	case "top":
 		in.Top()
 		return nil
+	case "fault":
+		return in.cmdFault(args[1:])
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
 	}
@@ -413,6 +441,202 @@ func (in *Interp) cmdWait(args []string) error {
 		fmt.Fprintln(in.out(), "wait: timeout with programs still running")
 	}
 	return nil
+}
+
+// injector lazily attaches the fault injector to the script's host; a
+// zero-config injector is byte-identical to none, so attachment alone
+// never perturbs a scenario.
+func (in *Interp) injector() *faults.Injector {
+	if in.inj == nil {
+		in.inj = faults.Attach(in.Host(), faults.Config{Seed: 1})
+	}
+	return in.inj
+}
+
+func (in *Interp) cmdFault(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: fault seed|events|monitor|degrade|churn|kill ...")
+	}
+	switch sub := args[0]; sub {
+	case "seed":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: fault seed N")
+		}
+		seed, err := strconv.ParseUint(args[1], 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad seed %q", args[1])
+		}
+		in.injector().Reseed(seed)
+		return nil
+	case "events":
+		var drop, jitter float64
+		var delay time.Duration
+		for _, kv := range args[1:] {
+			k, v, ok := strings.Cut(kv, "=")
+			if !ok {
+				return fmt.Errorf("bad option %q (want key=value)", kv)
+			}
+			var err error
+			switch k {
+			case "drop":
+				drop, err = strconv.ParseFloat(v, 64)
+			case "delay":
+				delay, err = time.ParseDuration(v)
+			case "jitter":
+				jitter, err = strconv.ParseFloat(v, 64)
+			default:
+				return fmt.Errorf("unknown events option %q", k)
+			}
+			if err != nil {
+				return fmt.Errorf("option %s: %w", k, err)
+			}
+		}
+		in.injector().SetEventFaults(drop, delay, jitter)
+		return nil
+	case "monitor":
+		var lag time.Duration
+		var jitter, miss float64
+		for _, kv := range args[1:] {
+			k, v, ok := strings.Cut(kv, "=")
+			if !ok {
+				return fmt.Errorf("bad option %q (want key=value)", kv)
+			}
+			var err error
+			switch k {
+			case "lag":
+				lag, err = time.ParseDuration(v)
+			case "jitter":
+				jitter, err = strconv.ParseFloat(v, 64)
+			case "miss":
+				miss, err = strconv.ParseFloat(v, 64)
+			default:
+				return fmt.Errorf("unknown monitor option %q", k)
+			}
+			if err != nil {
+				return fmt.Errorf("option %s: %w", k, err)
+			}
+		}
+		in.injector().SetMonitorFaults(lag, jitter, miss)
+		return nil
+	case "degrade":
+		var budget, resync time.Duration
+		for _, kv := range args[1:] {
+			k, v, ok := strings.Cut(kv, "=")
+			if !ok {
+				return fmt.Errorf("bad option %q (want key=value)", kv)
+			}
+			var err error
+			switch k {
+			case "budget":
+				budget, err = time.ParseDuration(v)
+			case "resync":
+				resync, err = time.ParseDuration(v)
+			default:
+				return fmt.Errorf("unknown degrade option %q", k)
+			}
+			if err != nil {
+				return fmt.Errorf("option %s: %w", k, err)
+			}
+		}
+		in.Host().Monitor.SetDegradation(budget, resync)
+		return nil
+	case "churn":
+		if len(args) < 2 {
+			return fmt.Errorf("usage: fault churn NAME interval=DURATION [options]")
+		}
+		if _, err := in.Container(args[1]); err != nil {
+			return err
+		}
+		rule := faults.ChurnRule{Target: args[1]}
+		for _, kv := range args[2:] {
+			k, v, ok := strings.Cut(kv, "=")
+			if !ok {
+				return fmt.Errorf("bad option %q (want key=value)", kv)
+			}
+			var err error
+			switch k {
+			case "interval":
+				rule.Interval, err = time.ParseDuration(v)
+			case "jitter":
+				rule.Jitter, err = strconv.ParseFloat(v, 64)
+			case "quota":
+				lo, hi, ok := strings.Cut(v, ":")
+				if !ok {
+					return fmt.Errorf("quota range %q (want MIN:MAX)", v)
+				}
+				if rule.MinQuotaCPUs, err = strconv.ParseFloat(lo, 64); err == nil {
+					rule.MaxQuotaCPUs, err = strconv.ParseFloat(hi, 64)
+				}
+			case "hard":
+				lo, hi, ok := strings.Cut(v, ":")
+				if !ok {
+					return fmt.Errorf("hard range %q (want SIZE:SIZE)", v)
+				}
+				if rule.MinMemHard, err = ParseSize(lo); err == nil {
+					rule.MaxMemHard, err = ParseSize(hi)
+				}
+			case "count":
+				rule.Count, err = strconv.Atoi(v)
+			default:
+				return fmt.Errorf("unknown churn option %q", k)
+			}
+			if err != nil {
+				return fmt.Errorf("option %s: %w", k, err)
+			}
+		}
+		if rule.Interval <= 0 {
+			return fmt.Errorf("fault churn needs interval=DURATION")
+		}
+		if rule.MaxQuotaCPUs < rule.MinQuotaCPUs || rule.MaxMemHard < rule.MinMemHard {
+			return fmt.Errorf("inverted churn range")
+		}
+		in.injector().StartChurn(rule)
+		return nil
+	case "kill":
+		if len(args) < 2 {
+			return fmt.Errorf("usage: fault kill NAME at=DURATION [restart] [delay=DURATION]")
+		}
+		name := args[1]
+		if _, err := in.Container(name); err != nil {
+			return err
+		}
+		rule := faults.KillRule{Target: name, At: -1}
+		for _, opt := range args[2:] {
+			if opt == "restart" {
+				rule.Restart = true
+				continue
+			}
+			k, v, ok := strings.Cut(opt, "=")
+			if !ok {
+				return fmt.Errorf("bad option %q", opt)
+			}
+			var err error
+			switch k {
+			case "at":
+				rule.At, err = time.ParseDuration(v)
+			case "delay":
+				rule.RestartDelay, err = time.ParseDuration(v)
+			default:
+				return fmt.Errorf("unknown kill option %q", k)
+			}
+			if err != nil {
+				return fmt.Errorf("option %s: %w", k, err)
+			}
+		}
+		if rule.At < 0 {
+			return fmt.Errorf("fault kill needs at=DURATION")
+		}
+		if rule.Restart {
+			// Re-bind the script name to the recreated container so
+			// later commands address the survivor, not the corpse.
+			rule.OnRestart = func(nc *container.Container) { in.ctrs[name] = nc }
+		}
+		inj := in.injector()
+		inj.ScheduleKill(rule)
+		return nil
+	default:
+		return fmt.Errorf("unknown fault subcommand %q", sub)
+	}
 }
 
 // Top prints the per-container resource view, in name order.

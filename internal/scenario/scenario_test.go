@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"arv/internal/container"
 	"arv/internal/units"
 )
 
@@ -207,5 +208,78 @@ func TestParsePolicy(t *testing.T) {
 	}
 	if _, err := ParsePolicy("nope"); err == nil {
 		t.Error("unknown policy accepted")
+	}
+}
+
+func TestFaultCommands(t *testing.T) {
+	in, _ := run(t, `host 8 16GiB
+create a quota=4
+exec a app
+sysbench a 2 50
+fault seed 3
+fault events drop=0.5 delay=10ms jitter=0.2
+fault monitor lag=20ms miss=0.1
+fault degrade budget=50ms resync=100ms
+fault churn a interval=100ms quota=1:2 count=3
+advance 2s
+fault events
+fault monitor
+top`)
+	c, err := in.Container("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q := c.Cgroup.CPU.QuotaUS; q < 100_000 || q > 200_000 {
+		t.Fatalf("churned quota = %d, want within [100000, 200000]", q)
+	}
+}
+
+func TestFaultKillRestartRebindsName(t *testing.T) {
+	in, _ := run(t, `create a quota=2
+exec a app
+sysbench a 2 10
+fault kill a at=100ms restart delay=50ms
+advance 1s
+sysbench a 2 1
+advance 100ms`)
+	c, err := in.Container("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.State() != container.Running {
+		t.Fatalf("restarted container state = %v, want Running", c.State())
+	}
+	if c.Spec.CPUQuotaUS != 200_000 {
+		t.Fatalf("restarted quota = %d, want the original 200000", c.Spec.CPUQuotaUS)
+	}
+}
+
+func TestFaultCommandErrors(t *testing.T) {
+	cases := map[string]string{
+		"no subcommand":     "fault",
+		"unknown sub":       "fault frob",
+		"bad seed":          "fault seed x",
+		"seed arity":        "fault seed 1 2",
+		"events bad opt":    "fault events nope=1",
+		"events bad value":  "fault events drop=x",
+		"events no equals":  "fault events drop",
+		"monitor bad opt":   "fault monitor nope=1",
+		"monitor bad value": "fault monitor lag=x",
+		"degrade bad opt":   "fault degrade nope=1s",
+		"churn unknown ctr": "fault churn nope interval=1s",
+		"churn no interval": "create a\nfault churn a quota=1:2",
+		"churn bad range":   "create a\nfault churn a interval=1s quota=2:1",
+		"churn bad quota":   "create a\nfault churn a interval=1s quota=2",
+		"churn bad hard":    "create a\nfault churn a interval=1s hard=1GiB",
+		"churn bad opt":     "create a\nfault churn a interval=1s nope=1",
+		"kill unknown ctr":  "fault kill nope at=1s",
+		"kill no at":        "create a\nfault kill a",
+		"kill bad opt":      "create a\nfault kill a at=1s nope=2",
+	}
+	for name, script := range cases {
+		in := New(nil)
+		if err := in.Run(strings.NewReader(script)); err == nil {
+			t.Errorf("%s: script %q should fail", name, script)
+		}
 	}
 }

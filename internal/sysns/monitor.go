@@ -35,7 +35,22 @@ type Monitor struct {
 	lastUpdate sim.Time
 	timer      sim.Timer
 	started    bool
+
+	// Graceful-degradation state (see Options.StalenessBudget and
+	// Options.ResyncMin; all zero — fully disabled — by default).
+	intercept UpdateInterceptor
+	resyncIvl time.Duration
+	resyncAt  sim.Time
 }
+
+// UpdateInterceptor lets a fault layer perturb the periodic update
+// loop. It is consulted when the update timer fires: skip=true drops
+// the round entirely (the timer re-arms for the next period), a
+// positive delay postpones the round — the values are then computed at
+// the later instant, and the next period is measured from it, so lag
+// stretches the effective update interval exactly as a slow ns_monitor
+// kernel thread would.
+type UpdateInterceptor func(now sim.Time) (delay time.Duration, skip bool)
 
 // NewMonitor creates a monitor bound to the hierarchy and subscribes it
 // to cgroup events. Namespaces are created only for cgroups registered
@@ -48,8 +63,35 @@ func NewMonitor(hier *cgroups.Hierarchy, clock *sim.Clock, opts Options) *Monito
 		opts:   opts,
 		spaces: make(map[*cgroups.Cgroup]*SysNamespace),
 	}
+	if opts.ResyncMin > 0 {
+		m.resyncIvl = opts.ResyncMin
+		m.resyncAt = clock.Now() + opts.ResyncMin
+	}
 	hier.Subscribe(m.onEvent)
 	return m
+}
+
+// SetUpdateInterceptor installs fn on the periodic update path (nil
+// removes it). The fault injector uses this to model a late or
+// preempted ns_monitor thread.
+func (m *Monitor) SetUpdateInterceptor(fn UpdateInterceptor) { m.intercept = fn }
+
+// SetDegradation (re)configures the graceful-degradation machinery on a
+// live monitor: budget bounds view staleness before the conservative
+// fallback engages (0 disables), resyncMin enables retry-with-backoff
+// bounds recomputation (0 disables; the cap defaults to 32x). It exists
+// so scenario scripts can enable degradation after host creation;
+// host.Config.NSOptions is the construction-time route.
+func (m *Monitor) SetDegradation(budget, resyncMin time.Duration) {
+	m.opts.StalenessBudget = budget
+	m.opts.ResyncMin = resyncMin
+	m.opts.ResyncMax = 0
+	if resyncMin > 0 {
+		m.resyncIvl = resyncMin
+		m.resyncAt = m.clock.Now() + resyncMin
+	} else {
+		m.resyncIvl = 0
+	}
 }
 
 // Attach creates a sys_namespace for cg (idempotent) and returns it.
@@ -57,7 +99,7 @@ func (m *Monitor) Attach(cg *cgroups.Cgroup) *SysNamespace {
 	if ns, ok := m.spaces[cg]; ok {
 		return ns
 	}
-	ns := &SysNamespace{cg: cg, hier: m.hier, opts: m.opts, created: m.clock.Now(), prevKswapd: m.hier.Memory().KswapdRuns()}
+	ns := &SysNamespace{cg: cg, hier: m.hier, opts: m.opts, created: m.clock.Now(), lastAt: m.clock.Now(), prevKswapd: m.hier.Memory().KswapdRuns()}
 	m.spaces[cg] = ns
 	m.order = append(m.order, ns)
 	m.recomputeAll()
@@ -163,10 +205,30 @@ func (m *Monitor) Start() {
 }
 
 func (m *Monitor) arm() {
-	m.timer = m.clock.After(m.Period(), func(now sim.Time) {
-		m.UpdateAll(now)
-		m.arm()
-	})
+	m.timer = m.clock.After(m.Period(), m.fire)
+}
+
+// fire is the periodic timer's callback: it consults the update
+// interceptor (if any) and either skips the round, postpones it, or
+// runs it now — re-arming for the next period in every case. With no
+// interceptor the path is identical to running UpdateAll directly.
+func (m *Monitor) fire(now sim.Time) {
+	if m.intercept != nil {
+		delay, skip := m.intercept(now)
+		if skip {
+			m.arm()
+			return
+		}
+		if delay > 0 {
+			m.timer = m.clock.After(delay, func(late sim.Time) {
+				m.UpdateAll(late)
+				m.arm()
+			})
+			return
+		}
+	}
+	m.UpdateAll(now)
+	m.arm()
 }
 
 // Stop disarms the update timer.
@@ -182,13 +244,51 @@ func (m *Monitor) SubsystemName() string { return "sysns" }
 
 // Tick is the monitor's dense per-tick hook. Updates are driven by the
 // periodic timer (armed in the clock's timer wheel) and by cgroup
-// events, so it is a no-op.
-func (m *Monitor) Tick(now sim.Time, dt time.Duration) {}
+// events, so with no staleness budget configured it is a no-op. With a
+// budget, the tick is where bounded-staleness detection runs: any
+// namespace whose view age exceeds the budget falls back to the
+// conservative view until an update round lands.
+func (m *Monitor) Tick(now sim.Time, dt time.Duration) {
+	b := m.opts.StalenessBudget
+	if b <= 0 {
+		return
+	}
+	for _, ns := range m.order {
+		if ns.degraded || ns.Age(now) <= b {
+			continue
+		}
+		ns.fallback()
+		m.Trace.Add(telemetry.CtrStaleFallbacks, 1)
+		if m.Trace.Enabled() {
+			m.Trace.Emit(now, telemetry.KindStaleFallback, ns.cg.Name,
+				int64(ns.Age(now)), int64(ns.eCPU))
+		}
+	}
+}
 
-// NextEvent reports no self-scheduled instant: the monitor's update
-// timer lives in the clock's timer wheel, which already bounds every
-// fast-forward jump through the kernel's timers subsystem.
-func (m *Monitor) NextEvent(now sim.Time) (sim.Time, bool) { return 0, false }
+// NextEvent reports the monitor's next self-scheduled instant. The
+// periodic update timer lives in the clock's timer wheel, which already
+// bounds every fast-forward jump; the monitor itself only contributes
+// an instant when a staleness budget is armed: the earliest moment a
+// live namespace's view can expire, so fallback engagement lands on the
+// same tick it would under dense stepping.
+func (m *Monitor) NextEvent(now sim.Time) (sim.Time, bool) {
+	b := m.opts.StalenessBudget
+	if b <= 0 {
+		return 0, false
+	}
+	var earliest sim.Time
+	found := false
+	for _, ns := range m.order {
+		if ns.degraded {
+			continue
+		}
+		if t := ns.lastAt + sim.Time(b); !found || t < earliest {
+			earliest, found = t, true
+		}
+	}
+	return earliest, found
+}
 
 // SkipIdle replays an idle span. The monitor's periodic update never
 // falls inside one (its timer deadline bounds the jump), so there is
@@ -208,9 +308,14 @@ func (m *Monitor) UpdateAll(now sim.Time) {
 	}
 	m.lastUpdate = now
 
+	if m.resyncIvl > 0 && now >= m.resyncAt {
+		m.resync(now)
+	}
+
 	slack := m.hier.Scheduler().TakeWindowSlack()
 	m.Trace.Add(telemetry.CtrNSUpdates, uint64(len(m.order)))
 	for _, ns := range m.order {
+		m.Trace.Max(telemetry.CtrStalenessMax, uint64(ns.Age(now)))
 		usage := ns.cg.CPU.TakeWindowUsage()
 		ns.UpdateCPU(now, window, usage, slack)
 		ns.UpdateMem(now)
@@ -218,5 +323,44 @@ func (m *Monitor) UpdateAll(now sim.Time) {
 			m.Trace.Emit(now, telemetry.KindNSUpdate, ns.cg.Name,
 				int64(ns.EffectiveCPU()), int64(ns.EffectiveMemory()))
 		}
+	}
+}
+
+// resync is the retry-with-backoff recovery path for dropped cgroup
+// events: it re-derives every namespace's bounds straight from the
+// hierarchy and compares them with the cached ones. Drift means a
+// limit-change event never arrived — the bounds are repaired (the
+// recompute already wrote them) and the retry interval resets to its
+// minimum; a clean pass doubles the interval up to the cap.
+func (m *Monitor) resync(now sim.Time) {
+	type bounds struct{ lower, upper int }
+	before := make([]bounds, len(m.order))
+	for i, ns := range m.order {
+		before[i] = bounds{ns.lowerCPU, ns.upperCPU}
+	}
+	m.recomputeAll()
+	drift := false
+	for i, ns := range m.order {
+		if before[i] != (bounds{ns.lowerCPU, ns.upperCPU}) {
+			drift = true
+			break
+		}
+	}
+	m.Trace.Add(telemetry.CtrRecomputeRetries, 1)
+	if drift {
+		m.resyncIvl = m.opts.ResyncMin
+	} else if m.resyncIvl < m.opts.resyncMax() {
+		m.resyncIvl *= 2
+		if max := m.opts.resyncMax(); m.resyncIvl > max {
+			m.resyncIvl = max
+		}
+	}
+	m.resyncAt = now + sim.Time(m.resyncIvl)
+	if m.Trace.Enabled() {
+		var d int64
+		if drift {
+			d = 1
+		}
+		m.Trace.Emit(now, telemetry.KindResync, "ns_monitor", d, int64(m.resyncIvl))
 	}
 }

@@ -55,6 +55,33 @@ type Options struct {
 	// memory at the soft limit (the "static" ablation, which is what
 	// JDK 10's share-based heuristic effectively computes).
 	DisableGrowth bool
+
+	// StalenessBudget bounds how old a namespace's view may grow before
+	// ns_monitor engages the conservative fallback (E_CPU to the lower
+	// bound, E_MEM to the soft limit). Zero — the default, and what
+	// every paper experiment uses — disables staleness detection
+	// entirely. The budget is monitor-level graceful-degradation
+	// machinery, not an Algorithm 1/2 tunable; it lives here so it can
+	// flow through host.Config.NSOptions like the other knobs.
+	StalenessBudget time.Duration
+
+	// ResyncMin enables retry-with-backoff bounds recomputation: when
+	// positive, ns_monitor periodically re-derives every namespace's
+	// bounds straight from the cgroup hierarchy, recovering from
+	// limit-change events that were dropped before it saw them. The
+	// retry interval starts at ResyncMin, doubles after every clean
+	// resync (no drift found), resets to ResyncMin when drift is
+	// found, and is capped at ResyncMax (default 32x ResyncMin).
+	ResyncMin time.Duration
+	// ResyncMax caps the resync backoff (0 selects 32x ResyncMin).
+	ResyncMax time.Duration
+}
+
+func (o Options) resyncMax() time.Duration {
+	if o.ResyncMax > 0 {
+		return o.ResyncMax
+	}
+	return 32 * o.ResyncMin
 }
 
 func (o Options) utilThreshold() float64 {
@@ -109,9 +136,10 @@ type SysNamespace struct {
 	// (§3.2); see internal/container.
 	OwnerPID int
 
-	updates uint64
-	lastAt  sim.Time
-	created sim.Time
+	updates  uint64
+	lastAt   sim.Time
+	created  sim.Time
+	degraded bool
 }
 
 // Cgroup returns the control group this namespace describes.
@@ -131,6 +159,28 @@ func (ns *SysNamespace) CPUBounds() (lower, upper int) {
 
 // Updates returns how many timer updates the namespace has processed.
 func (ns *SysNamespace) Updates() uint64 { return ns.updates }
+
+// Age returns the virtual-time age of the view: how long ago the last
+// Algorithm 1 round ran (or, before the first round, how long ago the
+// namespace was attached).
+func (ns *SysNamespace) Age(now sim.Time) time.Duration {
+	return time.Duration(now - ns.lastAt)
+}
+
+// Degraded reports whether the conservative fallback view is currently
+// engaged (the view's age exceeded the monitor's staleness budget and
+// no update has landed since).
+func (ns *SysNamespace) Degraded() bool { return ns.degraded }
+
+// fallback engages the conservative view: the guaranteed CPU lower
+// bound and the guaranteed (soft-limit) memory — the values the
+// container holds regardless of what happened since the view went
+// stale. The next successful update round clears it.
+func (ns *SysNamespace) fallback() {
+	ns.eCPU = ns.lowerCPU
+	ns.eMem = ns.softMem()
+	ns.degraded = true
+}
 
 // hardMem returns the hard limit with "unlimited" resolved to host RAM.
 func (ns *SysNamespace) hardMem() units.Bytes {
@@ -215,6 +265,7 @@ func (ns *SysNamespace) ResetMemory() {
 func (ns *SysNamespace) UpdateCPU(now sim.Time, window time.Duration, usage, slack units.CPUSeconds) {
 	ns.updates++
 	ns.lastAt = now
+	ns.degraded = false
 	if ns.opts.DisableGrowth {
 		ns.eCPU = ns.lowerCPU
 		return

@@ -42,6 +42,20 @@ const (
 	// KindNSUpdate: one Algorithm 1 + 2 round for a namespace.
 	// A = E_CPU, B = E_MEM bytes.
 	KindNSUpdate
+	// KindFault: the fault injector perturbed the system. Actor names
+	// the fault ("event-drop", "event-delay", "update-lag",
+	// "update-miss", "churn", "kill", "restart"); A and B are
+	// fault-specific (e.g. the delay in nanoseconds, or the new quota).
+	KindFault
+	// KindStaleFallback: a namespace's view age exceeded the staleness
+	// budget and the conservative fallback engaged. A = view age in
+	// nanoseconds, B = the E_CPU the view fell back to.
+	KindStaleFallback
+	// KindResync: ns_monitor re-derived every namespace's bounds from
+	// the cgroup hierarchy (the retry-with-backoff recovery path for
+	// dropped events). A = 1 if drift was found (an event had been
+	// missed), 0 otherwise; B = the next retry interval in nanoseconds.
+	KindResync
 )
 
 // String returns the event-kind name.
@@ -61,6 +75,12 @@ func (k Kind) String() string {
 		return "oom-kill"
 	case KindNSUpdate:
 		return "ns-update"
+	case KindFault:
+		return "fault"
+	case KindStaleFallback:
+		return "stale-fallback"
+	case KindResync:
+		return "resync"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -101,6 +121,30 @@ const (
 	CtrKswapdRuns
 	CtrDirectReclaims
 	CtrOOMKills
+	// CtrEventsDropped / CtrEventsDelayed count cgroup limit-change
+	// events the fault injector suppressed or deferred before
+	// ns_monitor saw them.
+	CtrEventsDropped
+	CtrEventsDelayed
+	// CtrUpdatesLagged / CtrUpdatesMissed count periodic ns_monitor
+	// rounds the fault injector postponed or skipped outright.
+	CtrUpdatesLagged
+	CtrUpdatesMissed
+	// CtrLimitChurns counts cpu-quota / memory-limit rewrites performed
+	// by the fault injector's churn rules.
+	CtrLimitChurns
+	// CtrKills counts containers the fault injector destroyed
+	// (restarts are traced as KindFault "restart" events).
+	CtrKills
+	// CtrStaleFallbacks counts namespaces falling back to the
+	// conservative view after exceeding the staleness budget.
+	CtrStaleFallbacks
+	// CtrStalenessMax is max-valued (see Tracer.Max): the largest view
+	// age, in nanoseconds, observed at any namespace update.
+	CtrStalenessMax
+	// CtrRecomputeRetries counts retry-with-backoff bounds resyncs
+	// ns_monitor ran to recover from possibly-dropped cgroup events.
+	CtrRecomputeRetries
 
 	numCounters
 )
@@ -126,6 +170,24 @@ func (c Counter) String() string {
 		return "mem.direct_reclaims"
 	case CtrOOMKills:
 		return "mem.oom_kills"
+	case CtrEventsDropped:
+		return "faults.events_dropped"
+	case CtrEventsDelayed:
+		return "faults.events_delayed"
+	case CtrUpdatesLagged:
+		return "faults.updates_lagged"
+	case CtrUpdatesMissed:
+		return "faults.updates_missed"
+	case CtrLimitChurns:
+		return "faults.limit_churns"
+	case CtrKills:
+		return "faults.kills"
+	case CtrStaleFallbacks:
+		return "sysns.staleness_fallbacks"
+	case CtrStalenessMax:
+		return "sysns.staleness_max_ns"
+	case CtrRecomputeRetries:
+		return "sysns.recompute_retries"
 	default:
 		return fmt.Sprintf("Counter(%d)", int(c))
 	}
@@ -176,6 +238,18 @@ func (t *Tracer) Add(c Counter, n uint64) {
 		return
 	}
 	t.counters[c] += n
+}
+
+// Max raises a counter to v if v exceeds its current value. It exists
+// for high-watermark metrics (CtrStalenessMax) that Add's monotonic
+// accumulation cannot express. No-op on a nil tracer.
+func (t *Tracer) Max(c Counter, v uint64) {
+	if t == nil {
+		return
+	}
+	if v > t.counters[c] {
+		t.counters[c] = v
+	}
 }
 
 // Count returns a counter's value (0 on a nil tracer).

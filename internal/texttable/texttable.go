@@ -1,6 +1,13 @@
 // Package texttable renders experiment results as aligned text tables,
 // CSV, and simple x/y series — the formats cmd/arvbench prints so each
 // figure/table of the paper can be regenerated as rows on stdout.
+//
+// Rendering is fully deterministic: cell values are formatted with
+// explicit verbs at AddRow time and column widths depend only on the
+// resulting strings, so the byte output of a table is a pure function
+// of the rows added. The golden files under testdata/golden rely on
+// this — any change to alignment or formatting here invalidates all of
+// them at once and must be accompanied by `make golden`.
 package texttable
 
 import (

@@ -248,6 +248,14 @@ func (s *Server) Poll(now sim.Time) {
 	if s.done {
 		return
 	}
+	if s.ctr.State() == container.Stopped {
+		// Killed with the container: the cgroup removal already detached
+		// every worker from the scheduler; in-flight and queued requests
+		// are lost (connections reset), the program just retires.
+		s.done = true
+		s.resizeTmr.Stop()
+		return
+	}
 	// Arrivals: exactly floor(rate x active time), computed from a tick
 	// counter so floating-point accrual cannot drift.
 	if !s.stopped {

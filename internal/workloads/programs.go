@@ -68,7 +68,17 @@ func (s *Sysbench) NextWake(now sim.Time) (sim.Time, bool) { return 0, false }
 
 // Poll implements host.Program.
 func (s *Sysbench) Poll(now sim.Time) {
-	if s.done || s.workDone < s.totalWork {
+	if s.done {
+		return
+	}
+	if s.ctr.State() == container.Stopped {
+		// Killed with the container: tasks are already detached from the
+		// scheduler, just retire the program.
+		s.done = true
+		s.EndedAt = now
+		return
+	}
+	if s.workDone < s.totalWork {
 		return
 	}
 	s.done = true
@@ -154,6 +164,10 @@ func (m *MemHog) Full() bool { return m.done || m.acquired >= m.Target }
 // release.
 func (m *MemHog) Poll(now sim.Time) {
 	if m.done {
+		return
+	}
+	if m.ctr.State() == container.Stopped {
+		m.done = true
 		return
 	}
 	if m.acquired < m.Target {
