@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench docs golden golden-parallel ci
+.PHONY: build vet test race bench bench-scale docs golden golden-parallel ci
 
 build:
 	$(GO) build ./...
@@ -16,6 +16,16 @@ race:
 
 bench:
 	$(GO) test -run xxx -bench . -benchtime=1x .
+
+# Container-scale benchmark family: regenerate BENCH_scale.json (the
+# committed trajectory point) and gate the steady-state hot paths at
+# 0 allocs/op. CI runs this with a short -benchtime; use the default
+# settings when refreshing the committed baseline.
+bench-scale:
+	$(GO) run ./cmd/arvbench -scalebench 64,256,1024 -json BENCH_scale.json
+	$(GO) test -run xxx -bench ScaleSteady -benchmem -benchtime=50x . | tee bench-steady.txt
+	$(GO) run ./internal/tools/benchgate -match ScaleSteady -max-allocs 0 bench-steady.txt
+	rm -f bench-steady.txt
 
 # Documentation gate: every package needs a package comment, and the
 # public API (arv) plus internal/sysns and internal/faults must have no

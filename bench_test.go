@@ -18,6 +18,7 @@ import (
 	"arv/internal/experiments"
 	"arv/internal/host"
 	"arv/internal/jvm"
+	"arv/internal/scalebench"
 	"arv/internal/sim"
 	"arv/internal/sysns"
 	"arv/internal/units"
@@ -196,6 +197,76 @@ func BenchmarkKernelIdle(b *testing.B) { benchKernel(b, false) }
 // BenchmarkKernelDense is the same scenario forced dense — the seed
 // kernel's behavior — for the speedup comparison.
 func BenchmarkKernelDense(b *testing.B) { benchKernel(b, true) }
+
+// --- scale: container counts well past the paper's testbed ---
+//
+// The `scale` family (see internal/scalebench and DESIGN.md §10) runs
+// synthetic hosts with 64/256/1024 flat containers under per-container
+// limit churn and reports wall-clock cost per simulated second. The
+// SteadyTick/SteadyUpdate variants isolate the two per-round hot paths —
+// cfs.Scheduler.Tick and sysns.Monitor.UpdateAll — and must report
+// 0 allocs/op (gated in CI by internal/tools/benchgate via
+// `make bench-scale`).
+
+func benchScaleChurn(b *testing.B, n int) {
+	cfg := scalebench.Defaults(n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		sb := scalebench.Build(cfg)
+		sb.H.Run(cfg.Warmup)
+		b.StartTimer()
+		sb.H.Run(cfg.Span)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/cfg.Span.Seconds(), "ns/sim-s")
+}
+
+func BenchmarkScale64(b *testing.B)   { benchScaleChurn(b, 64) }
+func BenchmarkScale256(b *testing.B)  { benchScaleChurn(b, 256) }
+func BenchmarkScale1024(b *testing.B) { benchScaleChurn(b, 1024) }
+
+// steadyBench builds an n-container host without churn and warms it up,
+// leaving the steady-state substrate ready for single-path iteration.
+func steadyBench(n int) *scalebench.Bench {
+	cfg := scalebench.Defaults(n)
+	cfg.Churn = false
+	sb := scalebench.Build(cfg)
+	sb.H.Run(cfg.Warmup)
+	return sb
+}
+
+// BenchmarkScaleSteadyTick is one CFS allocation round at scale: the
+// densest per-tick cost on a churn-free host. Must be 0 allocs/op.
+func BenchmarkScaleSteadyTick(b *testing.B) {
+	for _, n := range []int{64, 256, 1024} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			sb := steadyBench(n)
+			now := sb.H.Now()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sb.H.Sched.Tick(now, time.Millisecond)
+			}
+		})
+	}
+}
+
+// BenchmarkScaleSteadyUpdate is one full ns_monitor round (Algorithm 1 +
+// Algorithm 2 for every container) at scale. Must be 0 allocs/op.
+func BenchmarkScaleSteadyUpdate(b *testing.B) {
+	for _, n := range []int{64, 256, 1024} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			sb := steadyBench(n)
+			now := sb.H.Now()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sb.H.Monitor.UpdateAll(now)
+			}
+		})
+	}
+}
 
 // --- ablations (design choices called out in DESIGN.md §6) ---
 

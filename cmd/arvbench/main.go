@@ -8,6 +8,7 @@
 //	arvbench -run all -scale 0.25
 //	arvbench -run fig12 -csv
 //	arvbench -run all -parallel 8 -json BENCH_all.json
+//	arvbench -scalebench 64,256,1024 -json BENCH_scale.json
 package main
 
 import (
@@ -16,10 +17,12 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
 	"arv/internal/experiments"
+	"arv/internal/scalebench"
 )
 
 // benchReport is the -json output: one BENCH_*.json-style document per
@@ -43,6 +46,59 @@ type benchRecord struct {
 	Allocs     uint64  `json:"allocs"`
 }
 
+// scaleReport is the -json output of -scalebench: the committed
+// BENCH_scale.json trajectory document (one record per container count).
+type scaleReport struct {
+	Schema     string              `json:"schema"`
+	GoVersion  string              `json:"go_version"`
+	GOMAXPROCS int                 `json:"gomaxprocs"`
+	SpanSec    float64             `json:"sim_span_seconds"`
+	Runs       []scalebench.Result `json:"runs"`
+}
+
+// runScaleSuite executes the scale benchmark family for the given
+// container counts and prints one summary line per run. With jsonPath it
+// also writes the scaleReport document.
+func runScaleSuite(spec string, churn bool, interval, span time.Duration, jsonPath string) {
+	report := scaleReport{
+		Schema:     "arvbench/scale/v1",
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	for _, f := range strings.Split(spec, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n <= 0 {
+			fmt.Fprintf(os.Stderr, "arvbench: bad -scalebench container count %q\n", f)
+			os.Exit(2)
+		}
+		cfg := scalebench.Defaults(n)
+		cfg.Churn = churn
+		if interval > 0 {
+			cfg.ChurnInterval = interval
+		}
+		if span > 0 {
+			cfg.Span = span
+		}
+		res := scalebench.Run(cfg)
+		report.SpanSec = res.SimSeconds
+		report.Runs = append(report.Runs, res)
+		fmt.Printf("scale n=%-5d churn=%-5v %10.1f ms wall  %12.0f ns/sim-s  %7d churns  %9d allocs (%.1f/tick)\n",
+			res.Containers, res.Churn, res.WallMS, res.NsPerSimSec, res.LimitChurns, res.Allocs, res.AllocsPerTick)
+	}
+	if jsonPath != "" {
+		buf, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "arvbench: encoding -json report: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(jsonPath, append(buf, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "arvbench: writing %s: %v\n", jsonPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[wrote %s]\n", jsonPath)
+	}
+}
+
 func main() {
 	var (
 		list     = flag.Bool("list", false, "list available experiments")
@@ -53,8 +109,18 @@ func main() {
 		csv      = flag.Bool("csv", false, "emit tables as CSV instead of aligned text")
 		md       = flag.Bool("md", false, "emit tables as Markdown instead of aligned text")
 		verbose  = flag.Bool("v", false, "verbose notes")
+
+		scaleBench    = flag.String("scalebench", "", "run the scale benchmark family for these container counts (e.g. 64,256,1024); -json then writes the BENCH_scale.json document")
+		scaleChurn    = flag.Bool("scalebench-churn", true, "arm per-container limit churn in -scalebench runs")
+		scaleInterval = flag.Duration("scalebench-interval", 0, "churn interval per container in -scalebench runs (0 = default 250ms)")
+		scaleSpan     = flag.Duration("scalebench-span", 0, "simulated span per -scalebench run (0 = default 2s)")
 	)
 	flag.Parse()
+
+	if *scaleBench != "" {
+		runScaleSuite(*scaleBench, *scaleChurn, *scaleInterval, *scaleSpan, *jsonPath)
+		return
+	}
 
 	if *list || *run == "" {
 		fmt.Println("available experiments:")

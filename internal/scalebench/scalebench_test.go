@@ -1,0 +1,62 @@
+package scalebench
+
+import (
+	"testing"
+	"time"
+
+	"arv/internal/telemetry"
+)
+
+// short returns a small, fast configuration for unit tests.
+func short(n int, churn bool) Config {
+	cfg := Defaults(n)
+	cfg.Churn = churn
+	cfg.Span = 200 * time.Millisecond
+	cfg.Warmup = 50 * time.Millisecond
+	return cfg
+}
+
+// TestBuildShape checks the synthetic host has the advertised container
+// count and runnable-task spread.
+func TestBuildShape(t *testing.T) {
+	b := Build(short(32, false))
+	if got := len(b.H.Runtime.Containers()); got != 32 {
+		t.Fatalf("containers = %d, want 32", got)
+	}
+	if got := b.H.Sched.RunnableNow(); got != 8 {
+		t.Fatalf("runnable tasks = %d, want 8 (every 4th of 32)", got)
+	}
+	if got := len(b.H.Monitor.Namespaces()); got != 32 {
+		t.Fatalf("namespaces = %d, want 32", got)
+	}
+}
+
+// TestChurnFires checks the churn schedule actually rewrites limits and
+// that equal seeds give equal schedules (the telemetry counters of two
+// identically configured runs must match exactly).
+func TestChurnFires(t *testing.T) {
+	counts := func() (churns, updates uint64) {
+		b := Build(short(16, true))
+		b.H.Run(500 * time.Millisecond)
+		return b.Trace.Count(telemetry.CtrLimitChurns), b.Trace.Count(telemetry.CtrNSUpdates)
+	}
+	c1, u1 := counts()
+	c2, u2 := counts()
+	if c1 == 0 {
+		t.Fatal("churn armed but no limit rewrites fired")
+	}
+	if c1 != c2 || u1 != u2 {
+		t.Fatalf("same seed diverged: churns %d vs %d, updates %d vs %d", c1, c2, u1, u2)
+	}
+}
+
+// TestRunReportsProgress checks Run's derived metrics are populated.
+func TestRunReportsProgress(t *testing.T) {
+	res := Run(short(16, true))
+	if res.Ticks == 0 || res.NSUpdates == 0 || res.LimitChurns == 0 {
+		t.Fatalf("counters not populated: %+v", res)
+	}
+	if res.NsPerSimSec <= 0 || res.SimSeconds != 0.2 {
+		t.Fatalf("timing not populated: %+v", res)
+	}
+}

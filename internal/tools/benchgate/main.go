@@ -1,0 +1,85 @@
+// Command benchgate enforces allocation budgets on `go test -bench`
+// output (benchstat-style, but a gate rather than a diff): it scans
+// benchmark result lines, selects those whose name matches -match, and
+// fails if any reports more than -max-allocs allocs/op. Zero matching
+// benchmarks is also a failure, so a renamed benchmark cannot silently
+// disarm the gate.
+//
+// Usage (see `make bench-scale`):
+//
+//	go test -run xxx -bench ScaleSteady -benchmem -benchtime 50x . > out.txt
+//	go run ./internal/tools/benchgate -match ScaleSteady -max-allocs 0 out.txt
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// resultLine matches a benchmark result emitted with -benchmem, e.g.
+//
+//	BenchmarkScaleSteadyTick/n=64-8  50  1234 ns/op  0 B/op  0 allocs/op
+var resultLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+.*?(\d+)\s+allocs/op`)
+
+func main() {
+	var (
+		match     = flag.String("match", "", "substring or regexp the benchmark name must match (required)")
+		maxAllocs = flag.Int64("max-allocs", 0, "maximum permitted allocs/op")
+	)
+	flag.Parse()
+	if *match == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -match is required")
+		os.Exit(2)
+	}
+	nameRE, err := regexp.Compile(*match)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: bad -match: %v\n", err)
+		os.Exit(2)
+	}
+
+	in := os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		in = f
+	}
+
+	checked, failed := 0, 0
+	sc := bufio.NewScanner(in)
+	for sc.Scan() {
+		m := resultLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil || !nameRE.MatchString(m[1]) {
+			continue
+		}
+		allocs, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			continue
+		}
+		checked++
+		if allocs > *maxAllocs {
+			failed++
+			fmt.Fprintf(os.Stderr, "benchgate: %s reports %d allocs/op (max %d)\n", m[1], allocs, *maxAllocs)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: reading input: %v\n", err)
+		os.Exit(2)
+	}
+	if checked == 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: no benchmark matching %q found in input\n", *match)
+		os.Exit(1)
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: %d benchmark(s) within %d allocs/op\n", checked, *maxAllocs)
+}
