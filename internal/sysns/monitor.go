@@ -23,6 +23,11 @@ type Monitor struct {
 	spaces map[*cgroups.Cgroup]*SysNamespace
 	order  []*SysNamespace
 
+	// scratchTops is recomputeAll's top-level-entity set, kept across
+	// calls: the recompute runs on every cgroup event, so a fresh map
+	// per call is allocation churn proportional to limit churn.
+	scratchTops map[*cfs.Group]bool
+
 	// FixedPeriod, when non-zero, pins the update period instead of
 	// tracking the scheduling period (used by the update-period
 	// ablation).
@@ -146,7 +151,11 @@ func (m *Monitor) onEvent(e cgroups.Event) {
 // siblings count, attached or not — they compete for the pod's grant
 // either way).
 func (m *Monitor) recomputeAll() {
-	tops := make(map[*cfs.Group]bool)
+	if m.scratchTops == nil {
+		m.scratchTops = make(map[*cfs.Group]bool)
+	}
+	tops := m.scratchTops
+	clear(tops)
 	for _, ns := range m.order {
 		g := ns.cg.CPU
 		if p := g.Parent(); p != nil {
