@@ -93,11 +93,18 @@ type Group struct {
 	// free (pure fluid model).
 	Gamma float64
 
-	tasks []*Task
+	tasks    []*Task
+	runnable int // live runnable-task count (kept by Scheduler.SetRunnable)
 
 	parent   *Group
 	children []*Group
 	schedIdx int // position in Scheduler.groups, maintained on add/remove
+
+	// childShares is Σ children's Shares, maintained by the scheduler on
+	// child creation/removal and SetShares. ns_monitor reads it every
+	// time a nested container's share fraction is recomputed; a scan of
+	// Children() there would make each cgroup event O(siblings).
+	childShares int64
 
 	// accounting
 	usage        units.CPUSeconds // total raw CPU time
@@ -152,16 +159,15 @@ func (g *Group) LastRate() float64 { return g.lastRate }
 // parent's) capped the group's allocation in the most recent tick.
 func (g *Group) Throttled() bool { return g.throttledNow }
 
-// RunnableTasks returns the number of currently runnable tasks.
-func (g *Group) RunnableTasks() int {
-	n := 0
-	for _, t := range g.tasks {
-		if t.runnable {
-			n++
-		}
-	}
-	return n
-}
+// RunnableTasks returns the number of currently runnable tasks. The
+// count is maintained on task state changes rather than scanned: the
+// per-tick allocation loop reads it for every group.
+func (g *Group) RunnableTasks() int { return g.runnable }
+
+// ChildShares returns Σ Shares over the group's children (0 for a leaf).
+// The aggregate is maintained by the scheduler's SetShares and group
+// lifecycle paths; writing Shares directly leaves it stale.
+func (g *Group) ChildShares() int64 { return g.childShares }
 
 // Tasks returns the number of tasks (runnable or not) in the group.
 func (g *Group) Tasks() int { return len(g.tasks) }
@@ -191,10 +197,15 @@ type Scheduler struct {
 	runnableNow   int              // live runnable-task count (kept by SetRunnable)
 	ticks         uint64
 
+	// topShares is Σ Shares over top-level groups, maintained like
+	// Group.childShares (see TopShares).
+	topShares int64
+
 	// scratch buffers reused across ticks to avoid per-tick allocation
 	scratchAlloc []float64
 	scratchCap   []float64
 	scratchAct   []int
+	scratchChild []int
 }
 
 // SubsystemName identifies the scheduler in telemetry and diagnostics;
@@ -240,6 +251,26 @@ func (s *Scheduler) TotalRunnable() int { return s.totalRunnable }
 // Groups returns the live scheduling groups.
 func (s *Scheduler) Groups() []*Group { return s.groups }
 
+// TopShares returns Σ Shares over the top-level groups. Like
+// Group.ChildShares it is maintained incrementally by SetShares and the
+// group lifecycle paths, not scanned.
+func (s *Scheduler) TopShares() int64 { return s.topShares }
+
+// SetShares writes g's cpu.shares weight while keeping the share
+// aggregates (TopShares, the parent's ChildShares) consistent. All
+// share changes on a hierarchy-managed group must go through here (the
+// cgroups layer does); writing the field directly is reserved for
+// self-contained scheduler tests.
+func (s *Scheduler) SetShares(g *Group, shares int64) {
+	delta := shares - g.Shares
+	g.Shares = shares
+	if g.parent != nil {
+		g.parent.childShares += delta
+	} else {
+		s.topShares += delta
+	}
+}
+
 // NewGroup creates and registers a top-level scheduling group. Shares
 // defaults to DefaultShares; quota defaults to unlimited.
 func (s *Scheduler) NewGroup(name string) *Group {
@@ -251,6 +282,7 @@ func (s *Scheduler) NewGroup(name string) *Group {
 	}
 	g.schedIdx = len(s.groups)
 	s.groups = append(s.groups, g)
+	s.topShares += g.Shares
 	return g
 }
 
@@ -276,6 +308,7 @@ func (s *Scheduler) NewChildGroup(parent *Group, name string) *Group {
 	}
 	g.schedIdx = len(s.groups)
 	parent.children = append(parent.children, g)
+	parent.childShares += g.Shares
 	s.groups = append(s.groups, g)
 	return g
 }
@@ -295,13 +328,17 @@ func (s *Scheduler) RemoveGroup(g *Group) {
 		t.runnable = false
 	}
 	g.tasks = nil
+	g.runnable = 0
 	if g.parent != nil {
+		g.parent.childShares -= g.Shares
 		for i, x := range g.parent.children {
 			if x == g {
 				g.parent.children = append(g.parent.children[:i], g.parent.children[i+1:]...)
 				break
 			}
 		}
+	} else {
+		s.topShares -= g.Shares
 	}
 	for i, x := range s.groups {
 		if x == g {
@@ -333,6 +370,7 @@ func (s *Scheduler) RemoveTask(t *Task) {
 	t.removed = true
 	if t.runnable {
 		s.runnableNow--
+		t.group.runnable--
 	}
 	t.runnable = false
 	g := t.group
@@ -355,8 +393,10 @@ func (s *Scheduler) SetRunnable(t *Task, runnable bool) {
 	t.runnable = runnable
 	if runnable {
 		s.runnableNow++
+		t.group.runnable++
 	} else {
 		s.runnableNow--
+		t.group.runnable--
 	}
 }
 
@@ -429,6 +469,7 @@ func (s *Scheduler) Tick(now sim.Time, dt time.Duration) {
 		s.scratchAlloc = make([]float64, n)
 		s.scratchCap = make([]float64, n)
 		s.scratchAct = make([]int, 0, n)
+		s.scratchChild = make([]int, 0, n)
 	}
 	alloc := s.scratchAlloc[:n]
 	caps := s.scratchCap[:n]
@@ -486,7 +527,7 @@ func (s *Scheduler) Tick(now sim.Time, dt time.Duration) {
 		if len(g.children) == 0 || alloc[i] <= 0 {
 			continue
 		}
-		childActive := make([]int, 0, len(g.children))
+		childActive := s.scratchChild[:0]
 		for _, c := range g.children {
 			if caps[c.schedIdx] > 0 {
 				childActive = append(childActive, c.schedIdx)

@@ -72,14 +72,16 @@ type Hierarchy struct {
 	mem   *memctl.Controller
 
 	cgroups     []*Cgroup
+	byName      map[string]*Cgroup
 	subs        []func(Event)
 	interceptor Interceptor
+	suppressed  uint64
 }
 
 // NewHierarchy returns an empty hierarchy bound to the host's scheduler
 // and memory controller.
 func NewHierarchy(sched *cfs.Scheduler, mem *memctl.Controller) *Hierarchy {
-	return &Hierarchy{sched: sched, mem: mem}
+	return &Hierarchy{sched: sched, mem: mem, byName: make(map[string]*Cgroup)}
 }
 
 // Scheduler returns the scheduler backing the hierarchy.
@@ -104,9 +106,19 @@ func (h *Hierarchy) Redeliver(e Event) {
 	}
 }
 
+// Suppressed returns a monotone count of limit-change events an
+// interceptor kept from subscribers (dropped, or deferred for a later
+// Redeliver). Subscribers that cache hierarchy-derived state — the
+// monitor's incremental share aggregates — compare it against the value
+// they last synchronized at: a difference means the hierarchy mutated
+// without them seeing the event, so the cache must be rebuilt from live
+// state before it is trusted again.
+func (h *Hierarchy) Suppressed() uint64 { return h.suppressed }
+
 func (h *Hierarchy) publish(e Event) {
 	if h.interceptor != nil && (e.Kind == CPUChanged || e.Kind == MemChanged) {
 		if !h.interceptor(e) {
+			h.suppressed++
 			return
 		}
 	}
@@ -118,14 +130,11 @@ func (h *Hierarchy) publish(e Event) {
 // Cgroups returns the live cgroups in creation order.
 func (h *Hierarchy) Cgroups() []*Cgroup { return h.cgroups }
 
-// Lookup returns the cgroup with the given name, or nil.
+// Lookup returns the cgroup with the given name, or nil. The name index
+// is a map, so per-firing lookups on the fault injector's churn path
+// stay O(1) at thousand-container scale.
 func (h *Hierarchy) Lookup(name string) *Cgroup {
-	for _, cg := range h.cgroups {
-		if cg.Name == name {
-			return cg
-		}
-	}
-	return nil
+	return h.byName[name]
 }
 
 // Create adds a cgroup with default controllers (1024 shares, no quota,
@@ -141,6 +150,7 @@ func (h *Hierarchy) Create(name string) *Cgroup {
 		hier: h,
 	}
 	h.cgroups = append(h.cgroups, cg)
+	h.byName[name] = cg
 	h.publish(Event{Created, cg})
 	return cg
 }
@@ -166,6 +176,7 @@ func (h *Hierarchy) CreateChild(parent *Cgroup, name string) *Cgroup {
 	}
 	parent.children = append(parent.children, cg)
 	h.cgroups = append(h.cgroups, cg)
+	h.byName[name] = cg
 	h.publish(Event{Created, cg})
 	return cg
 }
@@ -190,6 +201,7 @@ func (h *Hierarchy) Remove(cg *Cgroup) {
 			break
 		}
 	}
+	delete(h.byName, cg.Name)
 	h.sched.RemoveGroup(cg.CPU)
 	h.mem.RemoveGroup(cg.Mem)
 	cg.removed = true
@@ -216,12 +228,13 @@ func (cg *Cgroup) Children() []*Cgroup { return cg.children }
 // Removed reports whether the cgroup has been deleted.
 func (cg *Cgroup) Removed() bool { return cg.removed }
 
-// SetShares writes cpu.shares and publishes CPUChanged.
+// SetShares writes cpu.shares and publishes CPUChanged. The write goes
+// through the scheduler so its share aggregates stay consistent.
 func (cg *Cgroup) SetShares(shares int64) {
 	if shares <= 0 {
 		panic("cgroups: non-positive cpu.shares")
 	}
-	cg.CPU.Shares = shares
+	cg.hier.sched.SetShares(cg.CPU, shares)
 	cg.hier.publish(Event{CPUChanged, cg})
 }
 

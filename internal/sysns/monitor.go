@@ -3,7 +3,6 @@ package sysns
 import (
 	"time"
 
-	"arv/internal/cfs"
 	"arv/internal/cgroups"
 	"arv/internal/sim"
 	"arv/internal/telemetry"
@@ -23,10 +22,26 @@ type Monitor struct {
 	spaces map[*cgroups.Cgroup]*SysNamespace
 	order  []*SysNamespace
 
-	// scratchTops is recomputeAll's top-level-entity set, kept across
-	// calls: the recompute runs on every cgroup event, so a fresh map
-	// per call is allocation churn proportional to limit churn.
-	scratchTops map[*cfs.Group]bool
+	// Incremental recompute cache (see DESIGN.md §10). tops holds one
+	// entry per top-level entity with attached namespaces below it (for
+	// a flat container, its own cgroup; for a nested one, the enclosing
+	// pod): a refcount of those namespaces plus the shares value the
+	// cache last saw, so a shares change yields the Σw_j delta without a
+	// walk. totalTop is Σ shares over those entries — the denominator of
+	// every namespace's guaranteed fraction. seenSuppressed is the
+	// hierarchy's suppression count at the last full synchronization;
+	// when it moves, an event was dropped or delayed before delivery and
+	// the cache can no longer be trusted (see syncSuppressed).
+	tops           map[*cgroups.Cgroup]topEntry
+	totalTop       int64
+	seenSuppressed uint64
+
+	// pendingTops are top-level entities whose subtree changed without a
+	// subscriber-visible recompute trigger (a cgroup created under a
+	// tracked pod dilutes its siblings, but Created never triggered a
+	// recompute). They are flushed at the next trigger, which is exactly
+	// when the full-walk implementation would have absorbed the change.
+	pendingTops []*cgroups.Cgroup
 
 	// FixedPeriod, when non-zero, pins the update period instead of
 	// tracking the scheduling period (used by the update-period
@@ -63,10 +78,12 @@ type UpdateInterceptor func(now sim.Time) (delay time.Duration, skip bool)
 // a sys_namespace).
 func NewMonitor(hier *cgroups.Hierarchy, clock *sim.Clock, opts Options) *Monitor {
 	m := &Monitor{
-		hier:   hier,
-		clock:  clock,
-		opts:   opts,
-		spaces: make(map[*cgroups.Cgroup]*SysNamespace),
+		hier:           hier,
+		clock:          clock,
+		opts:           opts,
+		spaces:         make(map[*cgroups.Cgroup]*SysNamespace),
+		tops:           make(map[*cgroups.Cgroup]topEntry),
+		seenSuppressed: hier.Suppressed(),
 	}
 	if opts.ResyncMin > 0 {
 		m.resyncIvl = opts.ResyncMin
@@ -99,6 +116,23 @@ func (m *Monitor) SetDegradation(budget, resyncMin time.Duration) {
 	}
 }
 
+// topEntry is the cached aggregate for one top-level entity: how many
+// attached namespaces live in its subtree (itself included, for a flat
+// container) and the shares value last folded into totalTop.
+type topEntry struct {
+	refs   int
+	shares int64
+}
+
+// topOf returns the top-level entity whose shares enter Σw_j for cg: the
+// enclosing pod for a nested container, cg itself otherwise.
+func topOf(cg *cgroups.Cgroup) *cgroups.Cgroup {
+	if cg.Parent != nil {
+		return cg.Parent
+	}
+	return cg
+}
+
 // Attach creates a sys_namespace for cg (idempotent) and returns it.
 func (m *Monitor) Attach(cg *cgroups.Cgroup) *SysNamespace {
 	if ns, ok := m.spaces[cg]; ok {
@@ -107,7 +141,25 @@ func (m *Monitor) Attach(cg *cgroups.Cgroup) *SysNamespace {
 	ns := &SysNamespace{cg: cg, hier: m.hier, opts: m.opts, created: m.clock.Now(), lastAt: m.clock.Now(), prevKswapd: m.hier.Memory().KswapdRuns()}
 	m.spaces[cg] = ns
 	m.order = append(m.order, ns)
-	m.recomputeAll()
+	if m.syncSuppressed() {
+		ns.ResetMemory()
+		return ns
+	}
+	top := topOf(cg)
+	e, tracked := m.tops[top]
+	e.refs++
+	if !tracked {
+		// A new top-level entity enters Σw_j: every fraction changes.
+		e.shares = top.CPU.Shares
+		m.tops[top] = e
+		m.totalTop += e.shares
+		m.recomputeBoundsAll()
+	} else {
+		// The denominator is unchanged (sibling sums count all children,
+		// attached or not); only the subtree needs bounds.
+		m.tops[top] = e
+		m.recomputeTop(top)
+	}
 	ns.ResetMemory()
 	return ns
 }
@@ -125,7 +177,24 @@ func (m *Monitor) Detach(cg *cgroups.Cgroup) {
 			break
 		}
 	}
-	m.recomputeAll()
+	if m.syncSuppressed() {
+		return
+	}
+	top := topOf(cg)
+	e := m.tops[top]
+	e.refs--
+	if e.refs <= 0 {
+		// Last namespace under this entity: its shares leave Σw_j.
+		delete(m.tops, top)
+		m.totalTop -= e.shares
+		m.recomputeBoundsAll()
+	} else {
+		// Detach via cgroup removal shrank the sibling sum (the group is
+		// already gone from the hierarchy); recompute the subtree. For a
+		// plain detach this is a no-op recompute.
+		m.tops[top] = e
+		m.recomputeTop(top)
+	}
 }
 
 // Lookup returns cg's namespace, or nil.
@@ -136,57 +205,168 @@ func (m *Monitor) Namespaces() []*SysNamespace { return m.order }
 
 func (m *Monitor) onEvent(e cgroups.Event) {
 	switch e.Kind {
+	case cgroups.Created:
+		// No recompute (the full-walk implementation ignored Created
+		// too), but a creation under a tracked pod dilutes the attached
+		// siblings' fractions at the *next* recompute trigger; remember
+		// the subtree so that trigger flushes it.
+		if top := topOf(e.Cgroup); top != e.Cgroup {
+			if _, tracked := m.tops[top]; tracked {
+				m.pendingTops = append(m.pendingTops, top)
+			}
+		}
 	case cgroups.Removed:
 		m.Detach(e.Cgroup)
-	case cgroups.CPUChanged, cgroups.MemChanged:
-		// Bounds depend on every container's shares; recompute all.
-		m.recomputeAll()
+	case cgroups.CPUChanged:
+		if m.syncSuppressed() {
+			return
+		}
+		m.onCPUChanged(e.Cgroup)
+	case cgroups.MemChanged:
+		// CPU bounds do not read memory limits (UpdateMem reads them
+		// live), so beyond cache synchronization and any pending
+		// dilution this is a no-op — exactly what the full walk computed.
+		if m.syncSuppressed() {
+			return
+		}
+		m.flushPending()
 	}
 }
 
-// recomputeAll recalculates every namespace's guaranteed share fraction
+// onCPUChanged applies one delivered cpu-limit event to the cache and
+// recomputes the affected bounds. The hierarchy already holds the new
+// values; the cached shares tell us what changed.
+func (m *Monitor) onCPUChanged(cg *cgroups.Cgroup) {
+	m.flushPending()
+	top := topOf(cg)
+	e, tracked := m.tops[top]
+	if !tracked {
+		// No attached namespace anywhere under this entity: its shares
+		// are outside Σw_j and nobody reads its quota/cpuset. No-op.
+		return
+	}
+	if cg == top {
+		if s := cg.CPU.Shares; s != e.shares {
+			// Top-level shares moved: the Σw_j denominator changes, so
+			// every namespace's fraction does too.
+			m.totalTop += s - e.shares
+			e.shares = s
+			m.tops[top] = e
+			m.recomputeBoundsAll()
+			return
+		}
+		// Quota/period/cpuset change on the entity: fractions are
+		// untouched, but the subtree's upper bounds read these limits.
+		m.recomputeTop(top)
+		return
+	}
+	// Nested cgroup: its shares enter the sibling sum and its limits cap
+	// its own namespace — both local to the pod subtree.
+	m.recomputeTop(top)
+}
+
+// flushPending recomputes subtrees dirtied without a recompute trigger
+// (see the Created case of onEvent).
+func (m *Monitor) flushPending() {
+	if len(m.pendingTops) == 0 {
+		return
+	}
+	for _, top := range m.pendingTops {
+		if _, tracked := m.tops[top]; tracked {
+			m.recomputeTop(top)
+		}
+	}
+	m.pendingTops = m.pendingTops[:0]
+}
+
+// syncSuppressed rebuilds the cache when the hierarchy reports
+// suppressed events the monitor never saw: a dropped or delayed event
+// means live state moved without the incremental bookkeeping. The full
+// recompute lands at the next delivered trigger — the same instant the
+// full-walk implementation would silently have absorbed the lost change,
+// which is what keeps fault-injection runs byte-identical. Returns true
+// when it recomputed (callers skip their incremental step).
+func (m *Monitor) syncSuppressed() bool {
+	if m.opts.DisableIncremental {
+		m.FullRecompute()
+		return true
+	}
+	if m.hier.Suppressed() == m.seenSuppressed {
+		return false
+	}
+	m.FullRecompute()
+	return true
+}
+
+// FullRecompute rebuilds the share-aggregate cache from live hierarchy
+// state and recalculates every namespace's bounds, regardless of what
+// the incremental bookkeeping believes. It is the recovery path for
+// suppressed events (resync, syncSuppressed) and the reference the
+// differential tests compare the incremental path against.
+func (m *Monitor) FullRecompute() {
+	clear(m.tops)
+	m.totalTop = 0
+	for _, ns := range m.order {
+		top := topOf(ns.cg)
+		e, ok := m.tops[top]
+		if !ok {
+			e.shares = top.CPU.Shares
+			m.totalTop += e.shares
+		}
+		e.refs++
+		m.tops[top] = e
+	}
+	m.pendingTops = m.pendingTops[:0]
+	m.seenSuppressed = m.hier.Suppressed()
+	m.recomputeBoundsAll()
+}
+
+// recomputeBoundsAll recalculates every namespace's bounds from the
+// cached aggregates (Σw_j changes reach every container).
+func (m *Monitor) recomputeBoundsAll() {
+	for _, ns := range m.order {
+		m.recomputeOne(ns)
+	}
+}
+
+// recomputeTop recalculates bounds for the namespaces inside one
+// top-level entity's subtree: the entity's own namespace (a flat
+// container) and any attached children (pod members).
+func (m *Monitor) recomputeTop(top *cgroups.Cgroup) {
+	if ns, ok := m.spaces[top]; ok {
+		m.recomputeOne(ns)
+	}
+	for _, c := range top.Children() {
+		if ns, ok := m.spaces[c]; ok {
+			m.recomputeOne(ns)
+		}
+	}
+}
+
+// recomputeOne recalculates one namespace's guaranteed share fraction
 // and bounds. For a flat container the fraction is w_i/Σw_j over the
 // top-level entities; for a container inside a pod it is the pod's
 // fraction times the container's fraction among its siblings (all
 // siblings count, attached or not — they compete for the pod's grant
-// either way).
-func (m *Monitor) recomputeAll() {
-	if m.scratchTops == nil {
-		m.scratchTops = make(map[*cfs.Group]bool)
-	}
-	tops := m.scratchTops
-	clear(tops)
-	for _, ns := range m.order {
-		g := ns.cg.CPU
+// either way). Σw_j comes from the cached totalTop, the sibling sum from
+// the scheduler's ChildShares aggregate; both are int64 sums, so they
+// equal a fresh walk exactly and the float expression below is
+// bit-identical to the historical full-recompute path.
+func (m *Monitor) recomputeOne(ns *SysNamespace) {
+	g := ns.cg.CPU
+	frac := 0.0
+	if m.totalTop > 0 {
 		if p := g.Parent(); p != nil {
-			tops[p] = true
-		} else {
-			tops[g] = true
-		}
-	}
-	var totalTop int64
-	for t := range tops {
-		totalTop += t.Shares
-	}
-	for _, ns := range m.order {
-		g := ns.cg.CPU
-		frac := 0.0
-		if totalTop > 0 {
-			if p := g.Parent(); p != nil {
-				var siblings int64
-				for _, c := range p.Children() {
-					siblings += c.Shares
-				}
-				if siblings > 0 {
-					frac = float64(p.Shares) / float64(totalTop) *
-						float64(g.Shares) / float64(siblings)
-				}
-			} else {
-				frac = float64(g.Shares) / float64(totalTop)
+			siblings := p.ChildShares()
+			if siblings > 0 {
+				frac = float64(p.Shares) / float64(m.totalTop) *
+					float64(g.Shares) / float64(siblings)
 			}
+		} else {
+			frac = float64(g.Shares) / float64(m.totalTop)
 		}
-		ns.RecomputeBounds(frac)
 	}
+	ns.RecomputeBounds(frac)
 }
 
 // Period returns the namespace update interval currently in effect.
@@ -347,7 +527,7 @@ func (m *Monitor) resync(now sim.Time) {
 	for i, ns := range m.order {
 		before[i] = bounds{ns.lowerCPU, ns.upperCPU}
 	}
-	m.recomputeAll()
+	m.FullRecompute()
 	drift := false
 	for i, ns := range m.order {
 		if before[i] != (bounds{ns.lowerCPU, ns.upperCPU}) {

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"arv/internal/cgroups"
+	"arv/internal/memctl"
 	"arv/internal/sim"
 	"arv/internal/units"
 )
@@ -75,6 +76,13 @@ type Options struct {
 	ResyncMin time.Duration
 	// ResyncMax caps the resync backoff (0 selects 32x ResyncMin).
 	ResyncMax time.Duration
+
+	// DisableIncremental forces ns_monitor onto the historical
+	// full-recompute-per-event path instead of the incremental
+	// dirty-subtree one. The two are observationally identical — the
+	// differential tests assert it — so this is a verification and
+	// benchmarking knob, not a behavior switch.
+	DisableIncremental bool
 }
 
 func (o Options) resyncMax() time.Duration {
@@ -288,18 +296,24 @@ func (ns *SysNamespace) UpdateMem(now sim.Time) {
 	mem := ns.hier.Memory()
 	cfree := mem.Free()
 	cmem := ns.cg.Mem.Resident()
+	kswapd := mem.KswapdRuns()
+	ns.updateMem(mem, cfree, cmem, kswapd)
+	ns.prevFree, ns.prevUsage, ns.havePrev = cfree, cmem, true
+	ns.prevKswapd = kswapd
+}
+
+// updateMem is UpdateMem's adjustment logic, split out so the caller can
+// record the round's inputs as p_free/p_mem on every exit path without a
+// deferred closure (UpdateMem runs once per namespace per period — it is
+// the monitor's hot path and must not allocate).
+func (ns *SysNamespace) updateMem(mem *memctl.Controller, cfree, cmem units.Bytes, kswapd int) {
 	// "Whenever system memory is in shortage and kswapd is reclaiming
 	// memory, reset a container's effective memory to its soft limit":
 	// shortage is visible either as free memory below the low watermark
 	// right now, or as kswapd activity since the previous update (free
 	// memory may already have recovered to the high watermark by the
 	// time the timer fires).
-	kswapd := mem.KswapdRuns()
 	reclaiming := cfree <= mem.LowWM || kswapd > ns.prevKswapd
-	defer func() {
-		ns.prevFree, ns.prevUsage, ns.havePrev = cfree, cmem, true
-		ns.prevKswapd = kswapd
-	}()
 
 	if ns.eMem == 0 {
 		ns.ResetMemory()
