@@ -1,0 +1,120 @@
+package faults
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"arv/internal/container"
+	"arv/internal/host"
+	"arv/internal/sysns"
+	"arv/internal/units"
+	"arv/internal/workloads"
+)
+
+// buildDifferentialHost constructs one of a mirrored pair: identical
+// seeds, containers, workloads, and fault schedule, differing only in
+// whether the monitor runs the incremental dirty-subtree path or the
+// historical full-recompute-per-trigger path. Because the fault layer
+// draws from its own seeded RNG and the monitor path never consumes
+// randomness, the two hosts see byte-identical event and churn
+// schedules — any divergence in view state is the incremental cache's
+// fault.
+func buildDifferentialHost(disableIncremental bool) *host.Host {
+	h := host.New(host.Config{
+		CPUs:      8,
+		Memory:    16 * units.GiB,
+		Seed:      11,
+		NSOptions: sysns.Options{DisableIncremental: disableIncremental},
+	})
+	inj := Attach(h, Config{
+		Seed:             5,
+		EventDropProb:    0.3,
+		EventDelay:       8 * time.Millisecond,
+		EventDelayJitter: 0.5,
+		UpdateLag:        3 * time.Millisecond,
+		UpdateLagJitter:  0.5,
+		UpdateMissProb:   0.2,
+	})
+	for i := 0; i < 6; i++ {
+		name := fmt.Sprintf("c%d", i)
+		c := h.Runtime.Create(container.Spec{
+			Name:      name,
+			CPUShares: int64(512 + 256*i),
+			MemHard:   units.Bytes(1+i%3) * units.GiB,
+			MemSoft:   units.Bytes(1+i%3) * units.GiB / 2,
+		})
+		c.Exec("app")
+		workloads.NewSysbench(h, c, 1+i%3, 5.0).Start()
+		inj.StartChurn(ChurnRule{
+			Target:       name,
+			Interval:     40 * time.Millisecond,
+			Jitter:       0.4,
+			MinQuotaCPUs: 1,
+			MaxQuotaCPUs: 6,
+			MinMemHard:   1 * units.GiB,
+			MaxMemHard:   4 * units.GiB,
+			SoftFrac:     0.5,
+		})
+	}
+	inj.ScheduleKill(KillRule{
+		Target:       "c2",
+		At:           300 * time.Millisecond,
+		Restart:      true,
+		RestartDelay: 40 * time.Millisecond,
+	})
+	return h
+}
+
+// TestIncrementalMatchesFullUnderFaults is the end-to-end differential
+// check for the monitor's incremental recompute: two full hosts under an
+// aggressive fault mix — dropped and delayed limit events, lagged and
+// missed update rounds, per-container limit churn, and a kill-restart —
+// sampled every 25 simulated milliseconds. Every namespace's CPU bounds,
+// effective CPU, and effective memory must match the full-recompute
+// reference at every sample, including across the suppression-recovery
+// path (dropped events force the incremental cache to resynchronize at
+// the next delivered trigger, the same instant the full walk absorbs the
+// lost change).
+func TestIncrementalMatchesFullUnderFaults(t *testing.T) {
+	hA := buildDifferentialHost(false) // incremental
+	hB := buildDifferentialHost(true)  // full recompute per trigger
+
+	for step := 0; step < 40; step++ {
+		hA.Run(25 * time.Millisecond)
+		hB.Run(25 * time.Millisecond)
+
+		ctrsA, ctrsB := hA.Runtime.Containers(), hB.Runtime.Containers()
+		if len(ctrsA) != len(ctrsB) {
+			t.Fatalf("sample %d: container counts diverged: %d vs %d", step, len(ctrsA), len(ctrsB))
+		}
+		byName := make(map[string]*container.Container, len(ctrsB))
+		for _, c := range ctrsB {
+			byName[c.Name] = c
+		}
+		for _, a := range ctrsA {
+			b := byName[a.Name]
+			if b == nil {
+				t.Fatalf("sample %d: %s live on incremental host only", step, a.Name)
+			}
+			if (a.NS == nil) != (b.NS == nil) {
+				t.Fatalf("sample %d: %s namespace presence diverged", step, a.Name)
+			}
+			if a.NS == nil {
+				continue
+			}
+			al, au := a.NS.CPUBounds()
+			bl, bu := b.NS.CPUBounds()
+			if al != bl || au != bu {
+				t.Fatalf("sample %d: %s bounds diverged: incremental [%d,%d], full [%d,%d]",
+					step, a.Name, al, au, bl, bu)
+			}
+			if ea, eb := a.NS.EffectiveCPU(), b.NS.EffectiveCPU(); ea != eb {
+				t.Fatalf("sample %d: %s E_CPU diverged: incremental %d, full %d", step, a.Name, ea, eb)
+			}
+			if ma, mb := a.NS.EffectiveMemory(), b.NS.EffectiveMemory(); ma != mb {
+				t.Fatalf("sample %d: %s E_MEM diverged: incremental %d, full %d", step, a.Name, ma, mb)
+			}
+		}
+	}
+}

@@ -1,0 +1,272 @@
+package sysns
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"arv/internal/cfs"
+	"arv/internal/cgroups"
+	"arv/internal/memctl"
+	"arv/internal/sim"
+	"arv/internal/units"
+)
+
+// mirror is a pair of monitors over one hierarchy: mA on the incremental
+// dirty-subtree path, mB pinned to the historical full-recompute path.
+// Every cgroup is attached to both or neither, so after any hierarchy
+// operation the two must agree on every namespace's bounds.
+type mirror struct {
+	clock *sim.Clock
+	sched *cfs.Scheduler
+	hier  *cgroups.Hierarchy
+	mA    *Monitor
+	mB    *Monitor
+}
+
+func newMirror(cpus int) *mirror {
+	clock := sim.NewClock(time.Millisecond)
+	sched := cfs.NewScheduler(cpus)
+	mem := memctl.New(memctl.Config{Total: 64 * units.GiB})
+	hier := cgroups.NewHierarchy(sched, mem)
+	return &mirror{
+		clock: clock,
+		sched: sched,
+		hier:  hier,
+		mA:    NewMonitor(hier, clock, Options{}),
+		mB:    NewMonitor(hier, clock, Options{DisableIncremental: true}),
+	}
+}
+
+func (m *mirror) attach(cg *cgroups.Cgroup) { m.mA.Attach(cg); m.mB.Attach(cg) }
+func (m *mirror) detach(cg *cgroups.Cgroup) { m.mA.Detach(cg); m.mB.Detach(cg) }
+
+// check asserts (1) the incremental monitor agrees with the legacy one
+// on every namespace, and (2) the incremental cache matches a fresh
+// derivation from the live hierarchy.
+func (m *mirror) check(t *testing.T, step int, op string) {
+	t.Helper()
+	if la, lb := len(m.mA.order), len(m.mB.order); la != lb {
+		t.Fatalf("step %d (%s): namespace counts diverged: %d vs %d", step, op, la, lb)
+	}
+	for _, nsA := range m.mA.order {
+		nsB := m.mB.Lookup(nsA.cg)
+		if nsB == nil {
+			t.Fatalf("step %d (%s): %s attached on incremental monitor only", step, op, nsA.cg.Name)
+		}
+		al, au := nsA.CPUBounds()
+		bl, bu := nsB.CPUBounds()
+		if al != bl || au != bu || nsA.EffectiveCPU() != nsB.EffectiveCPU() {
+			t.Fatalf("step %d (%s): %s bounds diverged: incremental [%d,%d] e=%d, full [%d,%d] e=%d",
+				step, op, nsA.cg.Name, al, au, nsA.EffectiveCPU(), bl, bu, nsB.EffectiveCPU())
+		}
+	}
+
+	// Cache invariants, derived the way FullRecompute would.
+	var totalTop int64
+	refs := make(map[*cgroups.Cgroup]int)
+	for _, ns := range m.mA.order {
+		top := topOf(ns.cg)
+		if refs[top] == 0 {
+			totalTop += top.CPU.Shares
+		}
+		refs[top]++
+	}
+	if m.mA.totalTop != totalTop {
+		t.Fatalf("step %d (%s): cached totalTop = %d, fresh derivation = %d", step, op, m.mA.totalTop, totalTop)
+	}
+	if len(m.mA.tops) != len(refs) {
+		t.Fatalf("step %d (%s): cached %d top entries, fresh derivation has %d", step, op, len(m.mA.tops), len(refs))
+	}
+	for top, want := range refs {
+		e, ok := m.mA.tops[top]
+		if !ok || e.refs != want || e.shares != top.CPU.Shares {
+			t.Fatalf("step %d (%s): top %s cache {refs %d, shares %d}, want {refs %d, shares %d}",
+				step, op, top.Name, e.refs, e.shares, want, top.CPU.Shares)
+		}
+	}
+}
+
+// TestIncrementalMatchesFullRecompute drives a randomized schedule of
+// every hierarchy mutation the monitor reacts to — creations (flat,
+// pods, late pod members), removals, attach/detach, and all four limit
+// setters — asserting after every single step that the incremental
+// bounds equal the full-recompute reference and that the share cache
+// matches a fresh walk.
+func TestIncrementalMatchesFullRecompute(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 4} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			m := newMirror(32)
+
+			var flats, pods, kids []*cgroups.Cgroup
+			nameSeq := 0
+			newName := func(prefix string) string {
+				nameSeq++
+				return fmt.Sprintf("%s%d", prefix, nameSeq)
+			}
+			pick := func(s []*cgroups.Cgroup) *cgroups.Cgroup { return s[rng.Intn(len(s))] }
+			drop := func(s []*cgroups.Cgroup, cg *cgroups.Cgroup) []*cgroups.Cgroup {
+				for i, x := range s {
+					if x == cg {
+						return append(s[:i], s[i+1:]...)
+					}
+				}
+				return s
+			}
+			anyCg := func() *cgroups.Cgroup {
+				all := make([]*cgroups.Cgroup, 0, len(flats)+len(pods)+len(kids))
+				all = append(all, flats...)
+				all = append(all, pods...)
+				all = append(all, kids...)
+				if len(all) == 0 {
+					return nil
+				}
+				return pick(all)
+			}
+
+			for step := 0; step < 1500; step++ {
+				op := ""
+				switch r := rng.Intn(20); {
+				case r < 4: // flat container, usually attached
+					cg := m.hier.Create(newName("c"))
+					flats = append(flats, cg)
+					if rng.Intn(10) < 7 {
+						m.attach(cg)
+					}
+					op = "create-flat"
+				case r < 6: // pod with 1-3 members
+					pod := m.hier.Create(newName("pod"))
+					pods = append(pods, pod)
+					for i := rng.Intn(3) + 1; i > 0; i-- {
+						kid := m.hier.CreateChild(pod, newName("k"))
+						kids = append(kids, kid)
+						if rng.Intn(10) < 7 {
+							m.attach(kid)
+						}
+					}
+					op = "create-pod"
+				case r < 8 && len(pods) > 0: // late pod member (sibling dilution)
+					kid := m.hier.CreateChild(pick(pods), newName("k"))
+					kids = append(kids, kid)
+					if rng.Intn(2) == 0 {
+						m.attach(kid)
+					}
+					op = "create-late-member"
+				case r < 11: // shares
+					if cg := anyCg(); cg != nil {
+						cg.SetShares(int64(2 + rng.Intn(4096)))
+						op = "set-shares"
+					}
+				case r < 13: // quota
+					if cg := anyCg(); cg != nil {
+						if rng.Intn(4) == 0 {
+							cg.SetQuota(-1, 100_000)
+						} else {
+							cg.SetQuota(int64(50_000+rng.Intn(800_000)), 100_000)
+						}
+						op = "set-quota"
+					}
+				case r < 14: // cpuset
+					if cg := anyCg(); cg != nil {
+						cg.SetCpuset(rng.Intn(m.sched.NCPU() + 1))
+						op = "set-cpuset"
+					}
+				case r < 15: // memory limits (must not move CPU bounds)
+					if cg := anyCg(); cg != nil {
+						hard := units.Bytes(1+rng.Intn(8)) * units.GiB
+						cg.SetMemLimits(hard, hard/2)
+						op = "set-mem"
+					}
+				case r < 16 && len(flats)+len(kids) > 0: // detach without removal
+					all := append(append([]*cgroups.Cgroup(nil), flats...), kids...)
+					m.detach(pick(all))
+					op = "detach"
+				case r < 17: // re-attach anything currently detached
+					if cg := anyCg(); cg != nil && m.mA.Lookup(cg) == nil {
+						m.attach(cg)
+						op = "attach"
+					}
+				case r < 19 && len(flats)+len(kids) > 0: // remove a leaf
+					all := append(append([]*cgroups.Cgroup(nil), flats...), kids...)
+					cg := pick(all)
+					m.hier.Remove(cg)
+					flats, kids = drop(flats, cg), drop(kids, cg)
+					op = "remove-leaf"
+				case len(pods) > 0: // remove a whole pod
+					pod := pick(pods)
+					for _, k := range append([]*cgroups.Cgroup(nil), pod.Children()...) {
+						kids = drop(kids, k)
+					}
+					m.hier.Remove(pod)
+					pods = drop(pods, pod)
+					op = "remove-pod"
+				}
+				if op == "" {
+					continue
+				}
+				m.check(t, step, op)
+			}
+		})
+	}
+}
+
+// TestOrderSpacesConsistency is the regression guard for the monitor's
+// twin bookkeeping structures: spaces (the cgroup index) and order (the
+// deterministic iteration order) must stay in lockstep across attach,
+// detach, removal, and kill/restart-style re-attachment.
+func TestOrderSpacesConsistency(t *testing.T) {
+	m := newMirror(16)
+	verify := func(when string) {
+		t.Helper()
+		if len(m.mA.order) != len(m.mA.spaces) {
+			t.Fatalf("%s: len(order)=%d, len(spaces)=%d", when, len(m.mA.order), len(m.mA.spaces))
+		}
+		seen := make(map[*SysNamespace]bool)
+		for _, ns := range m.mA.order {
+			if seen[ns] {
+				t.Fatalf("%s: namespace %s appears twice in order", when, ns.cg.Name)
+			}
+			seen[ns] = true
+			if m.mA.spaces[ns.cg] != ns {
+				t.Fatalf("%s: order entry %s not indexed in spaces", when, ns.cg.Name)
+			}
+		}
+	}
+
+	cgs := make([]*cgroups.Cgroup, 6)
+	for i := range cgs {
+		cgs[i] = m.hier.Create(fmt.Sprintf("c%d", i))
+		m.attach(cgs[i])
+		verify("attach")
+	}
+	// Idempotent re-attach must not duplicate the order entry.
+	m.attach(cgs[2])
+	verify("re-attach")
+
+	// Detach from the middle, then the ends.
+	for _, i := range []int{3, 0, 5} {
+		m.detach(cgs[i])
+		verify("detach")
+	}
+	// Kill/restart: remove the cgroup entirely, recreate under the same
+	// name, attach the fresh cgroup.
+	m.hier.Remove(cgs[1])
+	verify("kill")
+	re := m.hier.Create("c1")
+	m.attach(re)
+	verify("restart")
+
+	// Remaining attach order must be exactly the surviving attachments
+	// in their original sequence, with the restart at the tail.
+	want := []string{"c2", "c4", "c1"}
+	if len(m.mA.order) != len(want) {
+		t.Fatalf("final order has %d namespaces, want %d", len(m.mA.order), len(want))
+	}
+	for i, ns := range m.mA.order {
+		if ns.cg.Name != want[i] {
+			t.Fatalf("order[%d] = %s, want %s", i, ns.cg.Name, want[i])
+		}
+	}
+}

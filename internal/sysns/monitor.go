@@ -145,6 +145,9 @@ func (m *Monitor) Attach(cg *cgroups.Cgroup) *SysNamespace {
 		ns.ResetMemory()
 		return ns
 	}
+	// Cache updates must complete before any bounds recompute: a flush
+	// interleaved with a half-applied Σw_j would clamp E_CPU through an
+	// intermediate bounds state the atomic full walk never produces.
 	top := topOf(cg)
 	e, tracked := m.tops[top]
 	e.refs++
@@ -153,11 +156,13 @@ func (m *Monitor) Attach(cg *cgroups.Cgroup) *SysNamespace {
 		e.shares = top.CPU.Shares
 		m.tops[top] = e
 		m.totalTop += e.shares
+		m.pendingTops = m.pendingTops[:0] // subsumed by the full pass
 		m.recomputeBoundsAll()
 	} else {
 		// The denominator is unchanged (sibling sums count all children,
 		// attached or not); only the subtree needs bounds.
 		m.tops[top] = e
+		m.flushPending()
 		m.recomputeTop(top)
 	}
 	ns.ResetMemory()
@@ -180,6 +185,7 @@ func (m *Monitor) Detach(cg *cgroups.Cgroup) {
 	if m.syncSuppressed() {
 		return
 	}
+	// As in Attach: finish the cache mutation before any recompute.
 	top := topOf(cg)
 	e := m.tops[top]
 	e.refs--
@@ -187,12 +193,14 @@ func (m *Monitor) Detach(cg *cgroups.Cgroup) {
 		// Last namespace under this entity: its shares leave Σw_j.
 		delete(m.tops, top)
 		m.totalTop -= e.shares
+		m.pendingTops = m.pendingTops[:0] // subsumed by the full pass
 		m.recomputeBoundsAll()
 	} else {
 		// Detach via cgroup removal shrank the sibling sum (the group is
 		// already gone from the hierarchy); recompute the subtree. For a
 		// plain detach this is a no-op recompute.
 		m.tops[top] = e
+		m.flushPending()
 		m.recomputeTop(top)
 	}
 }
@@ -216,6 +224,18 @@ func (m *Monitor) onEvent(e cgroups.Event) {
 			}
 		}
 	case cgroups.Removed:
+		if _, attached := m.spaces[e.Cgroup]; !attached {
+			// No namespace to detach — but removing an unattached pod
+			// member still shrinks the sibling sum its attached siblings
+			// divide by. Like a creation, the change surfaces at the
+			// next recompute trigger.
+			if top := topOf(e.Cgroup); top != e.Cgroup {
+				if _, tracked := m.tops[top]; tracked {
+					m.pendingTops = append(m.pendingTops, top)
+				}
+			}
+			return
+		}
 		m.Detach(e.Cgroup)
 	case cgroups.CPUChanged:
 		if m.syncSuppressed() {
@@ -237,31 +257,39 @@ func (m *Monitor) onEvent(e cgroups.Event) {
 // recomputes the affected bounds. The hierarchy already holds the new
 // values; the cached shares tell us what changed.
 func (m *Monitor) onCPUChanged(cg *cgroups.Cgroup) {
-	m.flushPending()
 	top := topOf(cg)
 	e, tracked := m.tops[top]
 	if !tracked {
 		// No attached namespace anywhere under this entity: its shares
-		// are outside Σw_j and nobody reads its quota/cpuset. No-op.
+		// are outside Σw_j and nobody reads its quota/cpuset — but the
+		// full walk still ran on this trigger, so it is where any pending
+		// dilution would have been absorbed.
+		m.flushPending()
 		return
 	}
 	if cg == top {
 		if s := cg.CPU.Shares; s != e.shares {
 			// Top-level shares moved: the Σw_j denominator changes, so
-			// every namespace's fraction does too.
+			// every namespace's fraction does too. The delta lands before
+			// any recompute so the full pass sees the final Σw_j (the
+			// E_CPU clamp is stateful: an intermediate bounds state would
+			// be observable).
 			m.totalTop += s - e.shares
 			e.shares = s
 			m.tops[top] = e
+			m.pendingTops = m.pendingTops[:0] // subsumed by the full pass
 			m.recomputeBoundsAll()
 			return
 		}
 		// Quota/period/cpuset change on the entity: fractions are
 		// untouched, but the subtree's upper bounds read these limits.
+		m.flushPending()
 		m.recomputeTop(top)
 		return
 	}
 	// Nested cgroup: its shares enter the sibling sum and its limits cap
 	// its own namespace — both local to the pod subtree.
+	m.flushPending()
 	m.recomputeTop(top)
 }
 
