@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench bench-scale docs golden golden-parallel ci
+.PHONY: build vet test race bench bench-scale bench-gate docs golden golden-parallel ci
 
 build:
 	$(GO) build ./...
@@ -19,11 +19,19 @@ bench:
 
 # Container-scale benchmark family: regenerate BENCH_scale.json (the
 # committed trajectory point) and gate the steady-state hot paths at
-# 0 allocs/op. CI runs this with a short -benchtime; use the default
-# settings when refreshing the committed baseline.
+# 0 allocs/op. Use the default settings when refreshing the committed
+# baseline; CI runs the shorter bench-gate instead.
 bench-scale:
 	$(GO) run ./cmd/arvbench -scalebench 64,256,1024 -json BENCH_scale.json
 	$(GO) test -run xxx -bench ScaleSteady -benchmem -benchtime=50x . | tee bench-steady.txt
+	$(GO) run ./internal/tools/benchgate -match ScaleSteady -max-allocs 0 bench-steady.txt
+	rm -f bench-steady.txt
+
+# Allocation gate only (short benchtime, no baseline regeneration):
+# proves the steady-state scheduler tick and view-update rounds stay
+# allocation-free. Part of `make ci`.
+bench-gate:
+	$(GO) test -run xxx -bench ScaleSteady -benchmem -benchtime=20x . | tee bench-steady.txt
 	$(GO) run ./internal/tools/benchgate -match ScaleSteady -max-allocs 0 bench-steady.txt
 	rm -f bench-steady.txt
 
@@ -41,4 +49,4 @@ golden:
 golden-parallel:
 	$(GO) test -count=1 -run TestExperimentsMatchGolden -golden-workers 8 .
 
-ci: build vet docs test race bench golden-parallel
+ci: build vet docs test race bench bench-gate golden-parallel
