@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench bench-scale bench-gate docs golden golden-parallel ci
+.PHONY: build vet test race bench bench-scale bench-serve bench-gate docs golden golden-parallel ci
 
 build:
 	$(GO) build ./...
@@ -27,12 +27,24 @@ bench-scale:
 	$(GO) run ./internal/tools/benchgate -match ScaleSteady -max-allocs 0 bench-steady.txt
 	rm -f bench-steady.txt
 
+# Serve benchmark family: regenerate BENCH_serve.json (fsd read
+# throughput, lock-free vs locked, plus snapshot publication counters)
+# and run the GOMAXPROCS read-throughput sweep. The lock-free claim
+# itself is proven by the -race stress test in internal/fsd, which
+# `make race` runs.
+bench-serve:
+	$(GO) run ./cmd/arvbench -servebench 1,2,4,8 -json BENCH_serve.json
+	$(GO) test -run xxx -bench ServeParallel -benchtime=2000x .
+
 # Allocation gate only (short benchtime, no baseline regeneration):
 # proves the steady-state scheduler tick and view-update rounds stay
-# allocation-free. Part of `make ci`.
+# allocation-free, snapshot reads allocate nothing, and a snapshot
+# publication costs exactly its three buffers (header + two slices;
+# DESIGN.md §11). Part of `make ci`.
 bench-gate:
-	$(GO) test -run xxx -bench ScaleSteady -benchmem -benchtime=20x . | tee bench-steady.txt
-	$(GO) run ./internal/tools/benchgate -match ScaleSteady -max-allocs 0 bench-steady.txt
+	$(GO) test -run xxx -bench 'ScaleSteady|Snapshot' -benchmem -benchtime=20x . | tee bench-steady.txt
+	$(GO) run ./internal/tools/benchgate -match 'ScaleSteady|SnapshotRead' -max-allocs 0 bench-steady.txt
+	$(GO) run ./internal/tools/benchgate -match SnapshotPublish -max-allocs 3 bench-steady.txt
 	rm -f bench-steady.txt
 
 # Documentation gate: every package needs a package comment, and the

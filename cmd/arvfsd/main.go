@@ -7,11 +7,23 @@
 //
 // Usage:
 //
-//	arvfsd [-addr :8070] [-scenario file.arv]
+//	arvfsd [-addr :8070] [-pump 50ms] [-scenario file.arv]
+//
+// Flags:
+//
+//	-addr      listen address (default :8070)
+//	-pump      real-time pump interval: every -pump of wall clock the
+//	           simulation advances by the same span (default 50ms)
+//	-scenario  scenario file to set up the host (default: canned demo)
 //
 // Without -scenario, a canned multi-tenant demo runs: one quota-limited
 // web container plus batch containers that come and go. The simulation
 // advances in near real time while serving.
+//
+// On SIGINT or SIGTERM the daemon shuts down gracefully: the listener
+// stops accepting, in-flight reads drain (they resolve from immutable
+// snapshots, so draining is bounded by response writing, not by the
+// simulation), and the pump stops last.
 //
 // Try:
 //
@@ -22,10 +34,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"arv/internal/container"
@@ -40,9 +56,14 @@ import (
 func main() {
 	var (
 		addr = flag.String("addr", ":8070", "listen address")
+		pump = flag.Duration("pump", 50*time.Millisecond, "real-time pump interval (simulation advances this much per wall-clock interval)")
 		scn  = flag.String("scenario", "", "scenario file to set up the host (default: canned demo)")
 	)
 	flag.Parse()
+	if *pump <= 0 {
+		fmt.Fprintln(os.Stderr, "arvfsd: -pump must be positive")
+		os.Exit(2)
+	}
 
 	var h *host.Host
 	if *scn != "" {
@@ -64,14 +85,36 @@ func main() {
 	}
 
 	srv := fsd.NewServer(h)
-	stop := srv.Pump(50 * time.Millisecond)
-	defer stop()
+	stop := srv.Pump(*pump)
 
-	fmt.Printf("arvfsd: serving virtual sysfs on %s (try /containers)\n", *addr)
-	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	// Graceful shutdown: on SIGINT/SIGTERM stop accepting, drain
+	// in-flight reads, then stop the pump. Reads resolve from immutable
+	// snapshots, so draining never waits on a simulation step.
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	shutdownDone := make(chan struct{})
+	go func() {
+		defer close(shutdownDone)
+		<-ctx.Done()
+		sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer scancel()
+		if err := httpSrv.Shutdown(sctx); err != nil {
+			fmt.Fprintln(os.Stderr, "arvfsd: shutdown:", err)
+		}
+	}()
+
+	fmt.Printf("arvfsd: serving virtual sysfs on %s (try /containers; pump %v)\n", *addr, *pump)
+	err := httpSrv.ListenAndServe()
+	if !errors.Is(err, http.ErrServerClosed) {
+		stop()
 		fmt.Fprintln(os.Stderr, "arvfsd:", err)
 		os.Exit(1)
 	}
+	<-shutdownDone // drain in-flight reads
+	stop()         // then halt the simulation pump
+	fmt.Printf("arvfsd: drained after %d reads, stopping\n", srv.Reads())
 }
 
 // demoHost builds the canned scenario: a quota-limited web container

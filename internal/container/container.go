@@ -167,11 +167,30 @@ type Runtime struct {
 
 	nextHostPID int
 	containers  []*Container
+	byName      map[string]*Container
 }
 
-// NewRuntime returns a runtime over the given kernel components.
+// NewRuntime returns a runtime over the given kernel components. It
+// installs itself as ns_monitor's state provider, so published view
+// snapshots carry container lifecycle states.
 func NewRuntime(hier *cgroups.Hierarchy, mon *sysns.Monitor, resolver *sysfs.Resolver) *Runtime {
-	return &Runtime{hier: hier, mon: mon, resolver: resolver, nextHostPID: 1}
+	rt := &Runtime{
+		hier: hier, mon: mon, resolver: resolver,
+		nextHostPID: 1,
+		byName:      make(map[string]*Container),
+	}
+	mon.SetStateProvider(rt.stateOf)
+	return rt
+}
+
+// stateOf reports the lifecycle state of the container owning the named
+// cgroup ("" for cgroups without one); ns_monitor stamps it into
+// snapshot container views at publication time.
+func (rt *Runtime) stateOf(name string) string {
+	if c, ok := rt.byName[name]; ok {
+		return c.state.String()
+	}
+	return ""
 }
 
 // Containers returns the non-stopped containers.
@@ -268,6 +287,7 @@ func (rt *Runtime) finishCreate(cg *cgroups.Cgroup, spec Spec) *Container {
 	cg.CPU.Gamma = spec.Gamma
 
 	c := &Container{Spec: spec, Cgroup: cg, rt: rt, nextVPID: 1}
+	rt.byName[cg.Name] = c // before Attach: its publication reads the state
 	c.NS = rt.mon.Attach(cg)
 	boot := c.fork("bootstrap-init")
 	c.init = boot
@@ -299,6 +319,9 @@ func (c *Container) Exec(command string) *Process {
 	// for the life of the container.
 	c.NS.OwnerPID = p.HostPID
 	c.state = Running
+	// The state transition is invisible to the cgroup event bus;
+	// publish a fresh snapshot so lock-free readers see "running".
+	c.rt.mon.Republish()
 	return p
 }
 
@@ -336,6 +359,7 @@ func (rt *Runtime) Destroy(c *Container) {
 	}
 	c.state = Stopped
 	rt.hier.Remove(c.Cgroup)
+	delete(rt.byName, c.Cgroup.Name)
 }
 
 func (rt *Runtime) allocPID() int {

@@ -36,7 +36,7 @@ func cell(t *testing.T, tb *texttable.Table, row, col int) float64 {
 }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"abl-cpu", "abl-mem", "abl-period", "ext-httpd", "ext-launch", "ext-views", "fault-churn", "fault-staleness", "fig1", "fig10", "fig11", "fig12", "fig2a", "fig2b", "fig6", "fig7", "fig8", "fig9"}
+	want := []string{"abl-cpu", "abl-mem", "abl-period", "ext-httpd", "ext-launch", "ext-probe", "ext-views", "fault-churn", "fault-staleness", "fig1", "fig10", "fig11", "fig12", "fig2a", "fig2b", "fig6", "fig7", "fig8", "fig9"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("registered %d experiments, want %d", len(all), len(want))
@@ -257,6 +257,31 @@ func TestExtHTTPDShape(t *testing.T) {
 	hostServed, adaptiveServed := get(0, 1), get(2, 1)
 	if adaptiveServed < hostServed {
 		t.Errorf("adaptive served %v < host-sized %v", adaptiveServed, hostServed)
+	}
+}
+
+// TestExtProbeShape: every prober completes its burst schedule, sees
+// more than one snapshot version, and the publisher's read counter
+// accounts for every probe issued.
+func TestExtProbeShape(t *testing.T) {
+	res := smoke(t, "ext-probe")
+	t1, t2 := res.Tables[0], res.Tables[1]
+	var totalProbes float64
+	for r := range t1.Rows {
+		probes, bursts := cell(t, t1, r, 2), cell(t, t1, r, 3)
+		if probes <= 0 || bursts <= 0 {
+			t.Errorf("prober %d issued no probes (%v/%v)", r, probes, bursts)
+		}
+		if versions := cell(t, t1, r, 4); versions < 2 {
+			t.Errorf("prober %d saw %v versions, want snapshots to advance", r, versions)
+		}
+		totalProbes += probes
+	}
+	if snaps := cell(t, t2, 0, 0); snaps < 2 {
+		t.Errorf("publisher cut %v snapshots, want periodic publication", snaps)
+	}
+	if reads := cell(t, t2, 0, 2); reads != totalProbes {
+		t.Errorf("reads_served = %v, want the probers' total %v", reads, totalProbes)
 	}
 }
 

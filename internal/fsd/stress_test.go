@@ -1,0 +1,121 @@
+package fsd
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"arv/internal/container"
+	"arv/internal/host"
+	"arv/internal/units"
+	"arv/internal/workloads"
+)
+
+// TestServeRaceStress hammers every route from concurrent readers while
+// the Pump steps the simulation — the workload the lock-free snapshot
+// path exists for. Run under -race (make race / go test -race) it
+// proves read handlers share no mutable state with the simulation's
+// write path; with or without -race it asserts every response parses
+// and that the snapshot version each reader observes is monotone.
+func TestServeRaceStress(t *testing.T) {
+	h := host.New(host.Config{CPUs: 8, Memory: 16 * units.GiB, Seed: 1})
+	web := h.Runtime.Create(container.Spec{
+		Name: "web", CPUQuotaUS: 400_000, CPUPeriodUS: 100_000,
+		MemHard: 2 * units.GiB, MemSoft: units.GiB,
+	})
+	web.Exec("httpd")
+	batch := h.Runtime.Create(container.Spec{Name: "batch"})
+	batch.Exec("worker")
+	// Keep the monitor busy so publications happen while we read.
+	workloads.NewSysbench(h, batch, 6, 1e9).Start()
+
+	s := NewServer(h)
+	handler := s.Handler()
+	stop := s.Pump(200 * time.Microsecond)
+	defer stop()
+
+	routes := []string{
+		"/healthz",
+		"/containers",
+		"/containers/web/sys/devices/system/cpu/online",
+		"/containers/web/proc/meminfo",
+		"/containers/batch/proc/loadavg",
+		"/host/sys/devices/system/cpu/online",
+		"/host/proc/meminfo",
+		"/cgroups/web/cpu.cfs_quota_us",
+		"/cgroups/batch/memory.stat",
+	}
+
+	const (
+		readers = 8
+		rounds  = 200
+	)
+	errc := make(chan error, readers)
+	var wg sync.WaitGroup
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			var lastVersion uint64
+			for i := 0; i < rounds; i++ {
+				route := routes[(i+g)%len(routes)]
+				rr := httptest.NewRecorder()
+				handler.ServeHTTP(rr, httptest.NewRequest("GET", route, nil))
+				if rr.Code != 200 {
+					errc <- fmt.Errorf("reader %d: %s -> %d %q", g, route, rr.Code, rr.Body.String())
+					return
+				}
+				v, err := strconv.ParseUint(rr.Header().Get("X-Arv-Snapshot-Version"), 10, 64)
+				if err != nil {
+					errc <- fmt.Errorf("reader %d: %s: bad version header: %v", g, route, err)
+					return
+				}
+				if v < lastVersion {
+					errc <- fmt.Errorf("reader %d: version went backwards: %d after %d", g, v, lastVersion)
+					return
+				}
+				lastVersion = v
+				body := rr.Body.String()
+				switch {
+				case route == "/containers":
+					var infos []containerInfo
+					if err := json.Unmarshal([]byte(body), &infos); err != nil {
+						errc <- fmt.Errorf("reader %d: bad index JSON: %v", g, err)
+						return
+					}
+					if len(infos) != 2 {
+						errc <- fmt.Errorf("reader %d: index has %d containers", g, len(infos))
+						return
+					}
+				case body == "":
+					errc <- fmt.Errorf("reader %d: %s returned empty body", g, route)
+					return
+				case strings.HasSuffix(route, "/cpu.cfs_quota_us") && body != "400000\n":
+					errc <- fmt.Errorf("reader %d: quota = %q", g, body)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+
+	// The readers must not have blocked the pump: virtual time advanced.
+	s.Lock()
+	now := h.Now()
+	s.Unlock()
+	if now == 0 {
+		t.Fatal("pump made no progress while reads were served")
+	}
+	if got := s.Reads(); got < readers*rounds {
+		t.Fatalf("Reads() = %d, want >= %d", got, readers*rounds)
+	}
+}

@@ -249,8 +249,14 @@ func (h *Host) phasePrograms(now sim.Time) {
 	}
 }
 
-// phaseObserve records kernel-level accounting for the completed tick.
+// phaseObserve records kernel-level accounting for the completed tick
+// and flushes any pending view-snapshot publication: every subsystem,
+// timer, and program has run, so the tick's triggers are fully applied
+// and DESIGN.md §11 allows a snapshot to be cut. Coalescing here bounds
+// publication to one snapshot per tick no matter how many cgroup events
+// the tick carried.
 func (h *Host) phaseObserve(now sim.Time) {
+	h.Monitor.PublishIfDirty(now)
 	h.Trace.Add(telemetry.CtrSteps, 1)
 }
 

@@ -1,0 +1,212 @@
+// Package servebench measures the fsd daemon's read throughput in wall
+// clock: concurrent readers hammer the HTTP handler while the Pump
+// advances the simulation in real time, and the result records how many
+// reads were served per second and how far virtual time progressed.
+//
+// Two modes bracket the architecture change of DESIGN.md §11. The
+// default serves every GET from the published immutable snapshot with
+// no locking. Locked mode wraps the handler so each read takes the
+// simulation mutex — the pre-snapshot design, where readers and the
+// pump serialized on one lock. Comparing the two on the same host shows
+// what snapshot publication buys: readers never wait for a simulation
+// step, and the pump never waits for readers. The gap is widest on
+// multi-core hosts, but even on one CPU locked mode loses whole pump
+// steps of latency per read.
+//
+// cmd/arvbench drives this package via -servebench and writes the
+// committed BENCH_serve.json trajectory document.
+package servebench
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"arv/internal/container"
+	"arv/internal/fsd"
+	"arv/internal/host"
+	"arv/internal/sim"
+	"arv/internal/units"
+	"arv/internal/workloads"
+)
+
+// Config parameterizes one serve-throughput run.
+type Config struct {
+	Containers int           // containers on the simulated host
+	Readers    int           // concurrent reader goroutines
+	Duration   time.Duration // wall-clock measurement window
+	Pump       time.Duration // real-time pump interval advancing the simulation
+	Locked     bool          // serialize every read with the simulation lock (pre-snapshot architecture)
+}
+
+// Defaults returns the standard configuration for the given reader
+// count: 64 containers, a 1 ms pump, a 150 ms measurement window.
+func Defaults(readers int) Config {
+	return Config{
+		Containers: 64,
+		Readers:    readers,
+		Duration:   150 * time.Millisecond,
+		Pump:       time.Millisecond,
+	}
+}
+
+// Result is one BENCH_serve.json record.
+type Result struct {
+	Containers   int     `json:"containers"`
+	Readers      int     `json:"readers"`
+	Locked       bool    `json:"locked"`
+	WallMS       float64 `json:"wall_ms"`
+	Reads        uint64  `json:"reads"`
+	ReadsPerSec  float64 `json:"reads_per_sec"`
+	Snapshots    uint64  `json:"snapshots_delta"` // versions published during the window
+	SimAdvanceMS float64 `json:"sim_advance_ms"`  // virtual time the pump covered during the window
+	// Per-read handler latency. Locked mode inflates both — a read can
+	// arrive mid-simulation-step and must wait the step out — while the
+	// lock-free path stays flat regardless of step cost.
+	LatencyMeanUS float64 `json:"latency_mean_us"`
+	LatencyMaxUS  float64 `json:"latency_max_us"`
+	Errors        uint64  `json:"errors,omitempty"` // non-200 responses (expected 0)
+}
+
+// Run executes one serve-throughput measurement and returns its record.
+func Run(cfg Config) Result {
+	if cfg.Containers <= 0 {
+		cfg.Containers = 1
+	}
+	if cfg.Readers <= 0 {
+		cfg.Readers = 1
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 150 * time.Millisecond
+	}
+
+	h := host.New(host.Config{CPUs: 20, Memory: 128 * units.GiB, Seed: 1})
+	ctrs := make([]*container.Container, cfg.Containers)
+	for i := range ctrs {
+		ctrs[i] = h.Runtime.Create(container.Spec{
+			Name:       fmt.Sprintf("c%d", i),
+			CPUQuotaUS: 400_000, CPUPeriodUS: 100_000,
+			MemHard: units.GiB,
+		})
+		ctrs[i].Exec("app")
+	}
+	// Keep the views moving so the pump publishes fresh snapshots: CPU
+	// load plus topology churn — a scratch container created and
+	// destroyed every 2 sim-ms. Topology dirtiness publishes at the
+	// next tick regardless of the per-period coalescing floor, so even
+	// a wall-clock window too short for a full monitor round observes
+	// fresh versions.
+	for i := 0; i < 4 && i < len(ctrs); i++ {
+		workloads.NewSysbench(h, ctrs[i], 4, 1e12).Start()
+	}
+	var scratch *container.Container
+	h.Clock.Every(2*time.Millisecond, func(sim.Time) {
+		if scratch == nil {
+			scratch = h.Runtime.Create(container.Spec{Name: "churn"})
+			scratch.Exec("app")
+		} else {
+			h.Runtime.Destroy(scratch)
+			scratch = nil
+		}
+	})
+	h.Run(100 * time.Millisecond) // settle into steady state
+
+	s := fsd.NewServer(h)
+	var handler http.Handler = s.Handler()
+	if cfg.Locked {
+		inner := handler
+		handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			s.Lock()
+			defer s.Unlock()
+			inner.ServeHTTP(w, r)
+		})
+	}
+
+	routes := make([]string, 0, 5)
+	c := ctrs[0].Name
+	routes = append(routes,
+		"/containers/"+c+"/sys/devices/system/cpu/online",
+		"/containers/"+c+"/proc/meminfo",
+		"/containers/"+c+"/proc/loadavg",
+		"/host/proc/meminfo",
+		"/cgroups/"+c+"/cpu.cfs_quota_us",
+	)
+
+	startVersion := h.Monitor.Snapshot().Version
+	startSim := h.Now()
+
+	var stop func()
+	if cfg.Pump > 0 {
+		stop = s.Pump(cfg.Pump)
+	}
+
+	var (
+		reads    atomic.Uint64
+		errors   atomic.Uint64
+		latSumNS atomic.Uint64
+		latMaxNS atomic.Uint64
+		wg       sync.WaitGroup
+	)
+	begin := time.Now()
+	deadline := begin.Add(cfg.Duration)
+	for g := 0; g < cfg.Readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			var n, sum, max uint64
+			for i := g; time.Now().Before(deadline); i++ {
+				rr := httptest.NewRecorder()
+				t0 := time.Now()
+				handler.ServeHTTP(rr, httptest.NewRequest("GET", routes[i%len(routes)], nil))
+				el := uint64(time.Since(t0))
+				sum += el
+				if el > max {
+					max = el
+				}
+				if rr.Code != 200 {
+					errors.Add(1)
+				}
+				n++
+			}
+			reads.Add(n)
+			latSumNS.Add(sum)
+			for prev := latMaxNS.Load(); max > prev; prev = latMaxNS.Load() {
+				if latMaxNS.CompareAndSwap(prev, max) {
+					break
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	wall := time.Since(begin)
+	if stop != nil {
+		stop()
+	}
+
+	s.Lock()
+	simAdvance := h.Now() - startSim
+	s.Unlock()
+	endVersion := h.Monitor.Snapshot().Version
+
+	r := Result{
+		Containers:   cfg.Containers,
+		Readers:      cfg.Readers,
+		Locked:       cfg.Locked,
+		WallMS:       float64(wall) / float64(time.Millisecond),
+		Reads:        reads.Load(),
+		Snapshots:    endVersion - startVersion,
+		SimAdvanceMS: float64(simAdvance) / float64(time.Millisecond),
+		Errors:       errors.Load(),
+	}
+	if wall > 0 {
+		r.ReadsPerSec = float64(r.Reads) / wall.Seconds()
+	}
+	if r.Reads > 0 {
+		r.LatencyMeanUS = float64(latSumNS.Load()) / float64(r.Reads) / 1e3
+	}
+	r.LatencyMaxUS = float64(latMaxNS.Load()) / 1e3
+	return r
+}

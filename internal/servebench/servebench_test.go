@@ -1,0 +1,32 @@
+package servebench
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRunSmoke(t *testing.T) {
+	for _, locked := range []bool{false, true} {
+		cfg := Config{Containers: 4, Readers: 2, Duration: 25 * time.Millisecond, Pump: time.Millisecond, Locked: locked}
+		res := Run(cfg)
+		if res.Reads == 0 {
+			t.Fatalf("locked=%v: no reads served", locked)
+		}
+		if res.Errors != 0 {
+			t.Fatalf("locked=%v: %d non-200 responses", locked, res.Errors)
+		}
+		if res.ReadsPerSec <= 0 {
+			t.Fatalf("locked=%v: ReadsPerSec = %v", locked, res.ReadsPerSec)
+		}
+		if res.Readers != 2 || res.Containers != 4 || res.Locked != locked {
+			t.Fatalf("locked=%v: config not echoed: %+v", locked, res)
+		}
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	cfg := Defaults(8)
+	if cfg.Readers != 8 || cfg.Containers == 0 || cfg.Duration == 0 || cfg.Pump == 0 {
+		t.Fatalf("Defaults(8) = %+v", cfg)
+	}
+}

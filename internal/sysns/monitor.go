@@ -15,6 +15,12 @@ import (
 // through Σw_j — and (3) drives the periodic effective-CPU/memory updates
 // with an interval equal to the CFS scheduling period (§3.2).
 type Monitor struct {
+	// snapState is the versioned snapshot publication machinery (see
+	// snapshot.go and DESIGN.md §11): the atomic pointer readers load,
+	// the monotone version counter, and the dirty flags trigger
+	// handlers set for the observe-phase flush.
+	snapState
+
 	hier  *cgroups.Hierarchy
 	clock *sim.Clock
 	opts  Options
@@ -90,6 +96,7 @@ func NewMonitor(hier *cgroups.Hierarchy, clock *sim.Clock, opts Options) *Monito
 		m.resyncAt = clock.Now() + opts.ResyncMin
 	}
 	hier.Subscribe(m.onEvent)
+	m.Publish(clock.Now()) // readers never observe a nil snapshot
 	return m
 }
 
@@ -143,6 +150,7 @@ func (m *Monitor) Attach(cg *cgroups.Cgroup) *SysNamespace {
 	m.order = append(m.order, ns)
 	if m.syncSuppressed() {
 		ns.ResetMemory()
+		m.publishTopo(m.clock.Now())
 		return ns
 	}
 	// Cache updates must complete before any bounds recompute: a flush
@@ -166,6 +174,10 @@ func (m *Monitor) Attach(cg *cgroups.Cgroup) *SysNamespace {
 		m.recomputeTop(top)
 	}
 	ns.ResetMemory()
+	// Publish at the post-recompute point: the new namespace (and any
+	// sibling whose bounds moved) becomes visible to lock-free readers
+	// without waiting for a kernel step.
+	m.publishTopo(m.clock.Now())
 	return ns
 }
 
@@ -183,6 +195,7 @@ func (m *Monitor) Detach(cg *cgroups.Cgroup) {
 		}
 	}
 	if m.syncSuppressed() {
+		m.publishTopo(m.clock.Now())
 		return
 	}
 	// As in Attach: finish the cache mutation before any recompute.
@@ -203,6 +216,8 @@ func (m *Monitor) Detach(cg *cgroups.Cgroup) {
 		m.flushPending()
 		m.recomputeTop(top)
 	}
+	// As in Attach: publish once the cache and bounds are consistent.
+	m.publishTopo(m.clock.Now())
 }
 
 // Lookup returns cg's namespace, or nil.
@@ -214,6 +229,11 @@ func (m *Monitor) Namespaces() []*SysNamespace { return m.order }
 func (m *Monitor) onEvent(e cgroups.Event) {
 	switch e.Kind {
 	case cgroups.Created:
+		// The cgroup list (and hence the snapshot's cgroup section)
+		// changed; the observe-phase flush publishes it. No immediate
+		// publication: creations arrive in bursts (pods, churn) and
+		// coalescing to one snapshot per tick is the §11 contract.
+		m.markTopoDirty()
 		// No recompute (the full-walk implementation ignored Created
 		// too), but a creation under a tracked pod dilutes the attached
 		// siblings' fractions at the *next* recompute trigger; remember
@@ -224,6 +244,7 @@ func (m *Monitor) onEvent(e cgroups.Event) {
 			}
 		}
 	case cgroups.Removed:
+		m.markTopoDirty() // the cgroup left the snapshot's cgroup section
 		if _, attached := m.spaces[e.Cgroup]; !attached {
 			// No namespace to detach — but removing an unattached pod
 			// member still shrinks the sibling sum its attached siblings
@@ -238,11 +259,15 @@ func (m *Monitor) onEvent(e cgroups.Event) {
 		}
 		m.Detach(e.Cgroup)
 	case cgroups.CPUChanged:
+		// Bounds (and the snapshot's control-file values) may move;
+		// mark for the observe-phase flush in every sub-path.
+		m.markDirty()
 		if m.syncSuppressed() {
 			return
 		}
 		m.onCPUChanged(e.Cgroup)
 	case cgroups.MemChanged:
+		m.markDirty()
 		// CPU bounds do not read memory limits (UpdateMem reads them
 		// live), so beyond cache synchronization and any pending
 		// dilution this is a no-op — exactly what the full walk computed.
@@ -439,12 +464,17 @@ func (m *Monitor) fire(now sim.Time) {
 		if delay > 0 {
 			m.timer = m.clock.After(delay, func(late sim.Time) {
 				m.UpdateAll(late)
+				m.publishRound(late)
 				m.arm()
 			})
 			return
 		}
 	}
 	m.UpdateAll(now)
+	// The round is a complete Algorithm 1+2 pass — the canonical §11
+	// cut point. Publishing here (not inside UpdateAll) keeps UpdateAll
+	// itself allocation-free for direct callers.
+	m.publishRound(now)
 	m.arm()
 }
 
@@ -475,6 +505,7 @@ func (m *Monitor) Tick(now sim.Time, dt time.Duration) {
 			continue
 		}
 		ns.fallback()
+		m.markDirty() // flushed by this tick's observe phase
 		m.Trace.Add(telemetry.CtrStaleFallbacks, 1)
 		if m.Trace.Enabled() {
 			m.Trace.Emit(now, telemetry.KindStaleFallback, ns.cg.Name,
@@ -524,6 +555,11 @@ func (m *Monitor) UpdateAll(now sim.Time) {
 		window = m.Period()
 	}
 	m.lastUpdate = now
+	// Mark rather than publish: the timer path publishes right after
+	// this round (see fire), and direct callers — benchmarks iterating
+	// the hot path — must stay allocation-free. A stray direct call is
+	// still flushed by the host's observe phase.
+	m.markDirty()
 
 	if m.resyncIvl > 0 && now >= m.resyncAt {
 		m.resync(now)

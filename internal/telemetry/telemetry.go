@@ -145,6 +145,18 @@ const (
 	// CtrRecomputeRetries counts retry-with-backoff bounds resyncs
 	// ns_monitor ran to recover from possibly-dropped cgroup events.
 	CtrRecomputeRetries
+	// CtrSnapshotsPublished counts immutable view snapshots ns_monitor
+	// published via its atomic pointer (see DESIGN.md §11).
+	CtrSnapshotsPublished
+	// CtrSnapshotReads counts resource probes answered from a published
+	// snapshot by in-simulation readers (the prober workload). The HTTP
+	// daemon counts its reads separately — it runs off the simulation
+	// goroutine and must not touch the Tracer.
+	CtrSnapshotReads
+	// CtrSnapshotLagMax is max-valued (see Tracer.Max): the largest
+	// snapshot age, in nanoseconds, an in-simulation reader observed at
+	// probe time.
+	CtrSnapshotLagMax
 
 	numCounters
 )
@@ -188,6 +200,12 @@ func (c Counter) String() string {
 		return "sysns.staleness_max_ns"
 	case CtrRecomputeRetries:
 		return "sysns.recompute_retries"
+	case CtrSnapshotsPublished:
+		return "sysns.snapshots_published"
+	case CtrSnapshotReads:
+		return "views.reads_served"
+	case CtrSnapshotLagMax:
+		return "views.snapshot_lag_max_ns"
 	default:
 		return fmt.Sprintf("Counter(%d)", int(c))
 	}
