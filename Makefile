@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench bench-scale bench-serve bench-gate docs golden golden-parallel ci
+.PHONY: build vet test race bench bench-scale bench-serve bench-gate docs golden golden-check golden-parallel ci
 
 build:
 	$(GO) build ./...
@@ -38,12 +38,14 @@ bench-serve:
 
 # Allocation gate only (short benchtime, no baseline regeneration):
 # proves the steady-state scheduler tick and view-update rounds stay
-# allocation-free, snapshot reads allocate nothing, and a snapshot
+# allocation-free, snapshot reads allocate nothing, a snapshot
 # publication costs exactly its three buffers (header + two slices;
-# DESIGN.md §11). Part of `make ci`.
+# DESIGN.md §11), and a steady-state cluster step — four host steps
+# plus a no-move rebalance round (DESIGN.md §12) — amortizes to zero.
+# Part of `make ci`.
 bench-gate:
-	$(GO) test -run xxx -bench 'ScaleSteady|Snapshot' -benchmem -benchtime=20x . | tee bench-steady.txt
-	$(GO) run ./internal/tools/benchgate -match 'ScaleSteady|SnapshotRead' -max-allocs 0 bench-steady.txt
+	$(GO) test -run xxx -bench 'ScaleSteady|Snapshot|ClusterSteady' -benchmem -benchtime=20x . | tee bench-steady.txt
+	$(GO) run ./internal/tools/benchgate -match 'ScaleSteady|SnapshotRead|ClusterSteady' -max-allocs 0 bench-steady.txt
 	$(GO) run ./internal/tools/benchgate -match SnapshotPublish -max-allocs 3 bench-steady.txt
 	rm -f bench-steady.txt
 
@@ -57,8 +59,13 @@ docs:
 golden:
 	$(GO) test -run TestExperimentsMatchGolden -update-golden .
 
+# Verify the goldens sequentially (also covered by `make test`, but
+# explicit here so ci exercises both ends of the worker sweep).
+golden-check:
+	$(GO) test -count=1 -run TestExperimentsMatchGolden .
+
 # Prove the goldens are byte-identical with trial-level parallelism.
 golden-parallel:
 	$(GO) test -count=1 -run TestExperimentsMatchGolden -golden-workers 8 .
 
-ci: build vet docs test race bench bench-gate golden-parallel
+ci: build vet docs test race bench bench-gate golden-check golden-parallel

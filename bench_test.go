@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"arv"
+	"arv/internal/cluster"
 	"arv/internal/container"
 	"arv/internal/experiments"
 	"arv/internal/fsd"
@@ -269,6 +270,69 @@ func BenchmarkScaleSteadyUpdate(b *testing.B) {
 				sb.H.Monitor.UpdateAll(now)
 			}
 		})
+	}
+}
+
+// --- cluster: lockstep stepping and no-move rebalance (DESIGN.md §12) ---
+
+// clusterSteady builds the steady-state cluster: four 16-CPU nodes with
+// 64 busy quota'd containers each, eight scheduler placements for the
+// rebalance rounds to re-score, adaptive lens, and a hysteresis no real
+// score spread can clear — so rounds scan and score but never move.
+// Monitor periods are stretched to 96 ms so the amortized per-period
+// publication costs truncate below one alloc per step.
+func clusterSteady() *cluster.Cluster {
+	members := make([]cluster.NodeConfig, 4)
+	for i := range members {
+		members[i] = cluster.NodeConfig{Host: host.Config{
+			Name: fmt.Sprintf("node%d", i),
+			CPUs: 16, Memory: 64 * units.GiB,
+			Seed: uint64(i + 1),
+		}}
+	}
+	c := cluster.New(cluster.Config{
+		Lens:           cluster.LensAdaptive,
+		Scorer:         cluster.Composite{{S: cluster.BinPack{}, W: -1}, {S: cluster.Health{}, W: 1}},
+		RebalanceEvery: 48 * time.Millisecond,
+		Hysteresis:     1e9,
+	}, members...)
+	for _, n := range c.Nodes() {
+		n.Host.Monitor.FixedPeriod = 96 * time.Millisecond
+		for k := 0; k < 64; k++ {
+			ctr := n.Host.Runtime.Create(container.Spec{
+				Name:       fmt.Sprintf("c%d", k),
+				CPUQuotaUS: 200_000, CPUPeriodUS: 100_000,
+			})
+			ctr.Exec("app")
+			t := n.Host.Sched.NewTask(ctr.Cgroup.CPU, "t")
+			n.Host.Sched.SetRunnable(t, true)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		c.Deploy(container.Spec{
+			Name:       fmt.Sprintf("svc%d", i),
+			CPUQuotaUS: 200_000, CPUPeriodUS: 100_000,
+		}, cluster.DeployOpts{})
+	}
+	// Warm past the first post-deploy publication round (the monitors
+	// publish in a burst every stretched period) so the measured window
+	// opens right after a burst, a full period away from the next one —
+	// the benchgate's short window must amortize to zero, not straddle
+	// a burst.
+	c.Run(220 * time.Millisecond)
+	return c
+}
+
+// BenchmarkClusterSteady is one lockstep cluster tick in steady state —
+// four dense host steps plus the cluster clock, with periodic no-move
+// rebalance rounds reading every node's published snapshot. Must be
+// 0 allocs/op (gated in CI via `make bench-gate`).
+func BenchmarkClusterSteady(b *testing.B) {
+	c := clusterSteady()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Step()
 	}
 }
 

@@ -41,6 +41,18 @@ type Spec struct {
 	// Gamma is the oversubscription sensitivity of the container's
 	// workload (see internal/cfs).
 	Gamma float64
+
+	// ImageSize is the container image's transfer size, used by the
+	// cluster layer's migration cost model (transfer time = ImageSize /
+	// destination bandwidth). Zero means a negligible image.
+	ImageSize units.Bytes
+	// Affinity and AntiAffinity are placement group labels read by the
+	// cluster scheduler's affinity scorer: containers sharing an
+	// Affinity label attract each other onto one node, containers
+	// sharing an AntiAffinity label repel each other. Empty labels
+	// participate in neither.
+	Affinity     string
+	AntiAffinity string
 }
 
 // State is a container lifecycle state.
@@ -104,6 +116,17 @@ func (c *Container) State() State { return c.state }
 
 // Init returns the container's current init process.
 func (c *Container) Init() *Process { return c.init }
+
+// Command returns the command the container runs (the current init
+// process's name), or "app" when no command has been exec'd yet. The
+// faults kill/restart path and the cluster migration path use it to
+// re-exec a spec-preserving recreation of the container.
+func (c *Container) Command() string {
+	if c.init != nil && c.init.Name != "bootstrap-init" {
+		return c.init.Name
+	}
+	return "app"
+}
 
 // Processes returns the live processes.
 func (c *Container) Processes() []*Process {

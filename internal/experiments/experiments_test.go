@@ -4,6 +4,7 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 
 	"arv/internal/texttable"
 )
@@ -36,7 +37,7 @@ func cell(t *testing.T, tb *texttable.Table, row, col int) float64 {
 }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"abl-cpu", "abl-mem", "abl-period", "ext-httpd", "ext-launch", "ext-probe", "ext-views", "fault-churn", "fault-staleness", "fig1", "fig10", "fig11", "fig12", "fig2a", "fig2b", "fig6", "fig7", "fig8", "fig9"}
+	want := []string{"abl-cpu", "abl-mem", "abl-period", "ext-cluster", "ext-httpd", "ext-launch", "ext-probe", "ext-views", "fault-churn", "fault-staleness", "fig1", "fig10", "fig11", "fig12", "fig2a", "fig2b", "fig6", "fig7", "fig8", "fig9"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("registered %d experiments, want %d", len(all), len(want))
@@ -276,12 +277,47 @@ func TestExtProbeShape(t *testing.T) {
 			t.Errorf("prober %d saw %v versions, want snapshots to advance", r, versions)
 		}
 		totalProbes += probes
+		var q [4]time.Duration
+		for i, col := range []int{10, 11, 12, 8} { // p50, p95, p99, max_age
+			d, err := time.ParseDuration(t1.Rows[r][col])
+			if err != nil {
+				t.Fatalf("prober %d col %d = %q not a duration: %v", r, col, t1.Rows[r][col], err)
+			}
+			q[i] = d
+		}
+		if q[0] > q[1] || q[1] > q[2] || q[2] > q[3] {
+			t.Errorf("prober %d age percentiles not monotone: p50=%v p95=%v p99=%v max=%v", r, q[0], q[1], q[2], q[3])
+		}
 	}
 	if snaps := cell(t, t2, 0, 0); snaps < 2 {
 		t.Errorf("publisher cut %v snapshots, want periodic publication", snaps)
 	}
 	if reads := cell(t, t2, 0, 2); reads != totalProbes {
 		t.Errorf("reads_served = %v, want the probers' total %v", reads, totalProbes)
+	}
+}
+
+// The cluster experiment's acceptance shape: with everything but the
+// lens identical, the view-aware arm must beat the static-limit arm on
+// drops and fragmentation, and must not dump services onto the
+// saturated node 0.
+func TestExtClusterShape(t *testing.T) {
+	res := smoke(t, "ext-cluster")
+	tb := res.Tables[0]
+	if len(tb.Rows) != 2 || tb.Rows[0][0] != "static" || tb.Rows[1][0] != "adaptive" {
+		t.Fatalf("unexpected arm rows: %v", tb.Rows)
+	}
+	staticDrop, adaptiveDrop := cell(t, tb, 0, 6), cell(t, tb, 1, 6)
+	if adaptiveDrop >= staticDrop {
+		t.Errorf("adaptive dropped %v requests, static %v — view-aware placement must drop fewer", adaptiveDrop, staticDrop)
+	}
+	staticFrag, adaptiveFrag := cell(t, tb, 0, 9), cell(t, tb, 1, 9)
+	if adaptiveFrag >= staticFrag {
+		t.Errorf("adaptive frag %v, static %v — view-aware placement must balance load better", adaptiveFrag, staticFrag)
+	}
+	n0 := strings.SplitN(tb.Rows[1][1], "/", 2)[0]
+	if s0 := strings.SplitN(tb.Rows[0][1], "/", 2)[0]; n0 >= s0 && s0 != "0" {
+		t.Errorf("adaptive put %s services on the saturated node vs static's %s", n0, s0)
 	}
 }
 

@@ -83,12 +83,16 @@ func ExtProbe(opts Options) *Result {
 	h.Run(probeSpan)
 
 	t1 := texttable.New("probe bursts against the api container's snapshot view",
-		"interval", "burst", "probes", "bursts", "versions", "max_vlag", "fresh", "stale", "max_age", "ecpu")
+		"interval", "burst", "probes", "bursts", "versions", "max_vlag", "fresh", "stale", "max_age", "ecpu",
+		"age_p50", "age_p95", "age_p99")
 	for _, p := range probers {
 		t1.AddRow(p.Interval.String(), p.Burst, p.Probes, p.Bursts,
 			p.VersionsSeen, p.MaxVersionLag, p.FreshBursts, p.StaleBursts,
 			p.MaxAge.Round(time.Millisecond).String(),
-			fmt.Sprintf("%d..%d", p.MinECPU, p.MaxECPU))
+			fmt.Sprintf("%d..%d", p.MinECPU, p.MaxECPU),
+			p.AgePercentile(50).Round(time.Millisecond).String(),
+			p.AgePercentile(95).Round(time.Millisecond).String(),
+			p.AgePercentile(99).Round(time.Millisecond).String())
 	}
 
 	final := h.Monitor.Snapshot()

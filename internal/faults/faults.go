@@ -296,10 +296,7 @@ func (inj *Injector) ScheduleKill(r KillRule) {
 			return
 		}
 		spec := victim.Spec
-		cmd := "app"
-		if init := victim.Init(); init != nil {
-			cmd = init.Name
-		}
+		cmd := victim.Command()
 		inj.h.Runtime.Destroy(victim)
 		inj.trace.Add(telemetry.CtrKills, 1)
 		if inj.trace.Enabled() {

@@ -72,6 +72,10 @@ type WakePolicy interface {
 
 // Config sizes a Host. Zero fields select the defaults noted inline.
 type Config struct {
+	// Name identifies the host in multi-host (cluster) setups and
+	// diagnostics; empty is fine for single-host simulations.
+	Name string
+
 	CPUs   int           // required
 	Memory units.Bytes   // required
 	Tick   time.Duration // simulation step; default 1ms
@@ -109,6 +113,7 @@ type Host struct {
 	// EnableTelemetry is called; nil (the default) costs nothing.
 	Trace *telemetry.Tracer
 
+	name        string
 	tick        time.Duration
 	programs    []Program
 	subsystems  []Subsystem
@@ -134,6 +139,7 @@ func New(cfg Config) *Host {
 	rt := container.NewRuntime(hier, mon, resolver)
 
 	h := &Host{
+		name:        cfg.Name,
 		Clock:       clock,
 		Sched:       sched,
 		Mem:         mem,
@@ -165,8 +171,19 @@ func (h *Host) AddSubsystem(ss Subsystem) {
 	ss.AttachTelemetry(h.Trace)
 }
 
+// Name returns the host's configured name ("" when unnamed).
+func (h *Host) Name() string { return h.name }
+
 // Tick returns the host's simulation step size.
 func (h *Host) Tick() time.Duration { return h.tick }
+
+// ViewSnapshot returns the host's most recently published resource-view
+// snapshot (see sysns.Monitor.Snapshot). It is the introspection
+// surface the cluster scheduler reads: lock-free, immutable, and
+// versioned, so reading it never perturbs the simulation being
+// observed. (Snapshot, below in snapshot.go, is the mutably-sampled
+// top-style table the CLIs render; this is the serving-path view.)
+func (h *Host) ViewSnapshot() *sysns.ViewSnapshot { return h.Monitor.Snapshot() }
 
 // Now returns the current virtual time.
 func (h *Host) Now() sim.Time { return h.Clock.Now() }

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -63,11 +64,16 @@ type Result struct {
 	ReadsPerSec  float64 `json:"reads_per_sec"`
 	Snapshots    uint64  `json:"snapshots_delta"` // versions published during the window
 	SimAdvanceMS float64 `json:"sim_advance_ms"`  // virtual time the pump covered during the window
-	// Per-read handler latency. Locked mode inflates both — a read can
-	// arrive mid-simulation-step and must wait the step out — while the
-	// lock-free path stays flat regardless of step cost.
+	// Per-read handler latency. Locked mode inflates all of these — a
+	// read can arrive mid-simulation-step and must wait the step out —
+	// while the lock-free path stays flat regardless of step cost. The
+	// percentiles separate the common case (p50) from the tail the lock
+	// convoy produces (p95/p99).
 	LatencyMeanUS float64 `json:"latency_mean_us"`
 	LatencyMaxUS  float64 `json:"latency_max_us"`
+	LatencyP50US  float64 `json:"latency_p50_us"`
+	LatencyP95US  float64 `json:"latency_p95_us"`
+	LatencyP99US  float64 `json:"latency_p99_us"`
 	Errors        uint64  `json:"errors,omitempty"` // non-200 responses (expected 0)
 }
 
@@ -150,6 +156,9 @@ func Run(cfg Config) Result {
 		latMaxNS atomic.Uint64
 		wg       sync.WaitGroup
 	)
+	// Per-goroutine latency samples, merged after the join for the
+	// percentile columns (index-distinct slots, no contention).
+	lats := make([][]uint64, cfg.Readers)
 	begin := time.Now()
 	deadline := begin.Add(cfg.Duration)
 	for g := 0; g < cfg.Readers; g++ {
@@ -157,6 +166,7 @@ func Run(cfg Config) Result {
 		go func(g int) {
 			defer wg.Done()
 			var n, sum, max uint64
+			samples := make([]uint64, 0, 1<<14)
 			for i := g; time.Now().Before(deadline); i++ {
 				rr := httptest.NewRecorder()
 				t0 := time.Now()
@@ -166,6 +176,7 @@ func Run(cfg Config) Result {
 				if el > max {
 					max = el
 				}
+				samples = append(samples, el)
 				if rr.Code != 200 {
 					errors.Add(1)
 				}
@@ -173,6 +184,7 @@ func Run(cfg Config) Result {
 			}
 			reads.Add(n)
 			latSumNS.Add(sum)
+			lats[g] = samples
 			for prev := latMaxNS.Load(); max > prev; prev = latMaxNS.Load() {
 				if latMaxNS.CompareAndSwap(prev, max) {
 					break
@@ -208,5 +220,27 @@ func Run(cfg Config) Result {
 		r.LatencyMeanUS = float64(latSumNS.Load()) / float64(r.Reads) / 1e3
 	}
 	r.LatencyMaxUS = float64(latMaxNS.Load()) / 1e3
+	var merged []uint64
+	for _, s := range lats {
+		merged = append(merged, s...)
+	}
+	if len(merged) > 0 {
+		sort.Slice(merged, func(i, j int) bool { return merged[i] < merged[j] })
+		r.LatencyP50US = float64(percentile(merged, 50)) / 1e3
+		r.LatencyP95US = float64(percentile(merged, 95)) / 1e3
+		r.LatencyP99US = float64(percentile(merged, 99)) / 1e3
+	}
 	return r
+}
+
+// percentile indexes the p-th percentile of sorted samples.
+func percentile(sorted []uint64, p float64) uint64 {
+	idx := int(p/100*float64(len(sorted))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
 }

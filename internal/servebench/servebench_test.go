@@ -21,6 +21,11 @@ func TestRunSmoke(t *testing.T) {
 		if res.Readers != 2 || res.Containers != 4 || res.Locked != locked {
 			t.Fatalf("locked=%v: config not echoed: %+v", locked, res)
 		}
+		if res.LatencyP50US <= 0 || res.LatencyP50US > res.LatencyP95US ||
+			res.LatencyP95US > res.LatencyP99US || res.LatencyP99US > res.LatencyMaxUS {
+			t.Fatalf("locked=%v: latency percentiles not monotone: p50=%v p95=%v p99=%v max=%v",
+				locked, res.LatencyP50US, res.LatencyP95US, res.LatencyP99US, res.LatencyMaxUS)
+		}
 	}
 }
 

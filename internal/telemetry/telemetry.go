@@ -56,6 +56,14 @@ const (
 	// dropped events). A = 1 if drift was found (an event had been
 	// missed), 0 otherwise; B = the next retry interval in nanoseconds.
 	KindResync
+	// KindPlacement: the cluster scheduler placed a container. Actor is
+	// the container name; A = the chosen node index, B = the winning
+	// score in millionths.
+	KindPlacement
+	// KindMigration: the cluster scheduler started a live migration.
+	// Actor is the container name; A = the destination node index,
+	// B = the modeled migration time in nanoseconds.
+	KindMigration
 )
 
 // String returns the event-kind name.
@@ -81,6 +89,10 @@ func (k Kind) String() string {
 		return "stale-fallback"
 	case KindResync:
 		return "resync"
+	case KindPlacement:
+		return "placement"
+	case KindMigration:
+		return "migration"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -157,6 +169,16 @@ const (
 	// snapshot age, in nanoseconds, an in-simulation reader observed at
 	// probe time.
 	CtrSnapshotLagMax
+	// CtrPlacements counts containers placed by the cluster scheduler.
+	CtrPlacements
+	// CtrMigrations counts live migrations the cluster scheduler
+	// started; CtrMigrationMS accumulates their modeled transfer time
+	// (image size / bandwidth + latency delta) in milliseconds.
+	CtrMigrations
+	CtrMigrationMS
+	// CtrRebalanceRounds counts cluster rebalance rounds, including
+	// rounds that moved nothing.
+	CtrRebalanceRounds
 
 	numCounters
 )
@@ -206,6 +228,14 @@ func (c Counter) String() string {
 		return "views.reads_served"
 	case CtrSnapshotLagMax:
 		return "views.snapshot_lag_max_ns"
+	case CtrPlacements:
+		return "cluster.placements"
+	case CtrMigrations:
+		return "cluster.migrations"
+	case CtrMigrationMS:
+		return "cluster.migration_ms"
+	case CtrRebalanceRounds:
+		return "cluster.rebalance_rounds"
 	default:
 		return fmt.Sprintf("Counter(%d)", int(c))
 	}

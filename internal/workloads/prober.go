@@ -2,6 +2,7 @@ package workloads
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"arv/internal/container"
@@ -49,6 +50,11 @@ type Prober struct {
 
 	lastVersion uint64
 	probeSum    int64 // consumes probe results so none can be elided
+
+	// ages records the snapshot age seen by every burst (the per-probe
+	// staleness latency distribution; all probes of one burst read the
+	// same snapshot, so one sample per burst is the full distribution).
+	ages []time.Duration
 }
 
 // NewProber builds a prober for ctr issuing burst probes every interval
@@ -128,6 +134,7 @@ func (p *Prober) Poll(now sim.Time) {
 	p.Bursts++
 
 	age := time.Duration(now - snap.At)
+	p.ages = append(p.ages, age)
 	if age <= 0 {
 		p.FreshBursts++
 	} else {
@@ -156,4 +163,25 @@ func (p *Prober) Poll(now sim.Time) {
 	if age > 0 {
 		p.h.Trace.Max(telemetry.CtrSnapshotLagMax, uint64(age))
 	}
+}
+
+// AgePercentile returns the p-th percentile (0 < p <= 100) of the
+// per-burst snapshot age distribution — the staleness a consumer
+// polling at this cadence actually experiences, not just its worst
+// case.
+func (p *Prober) AgePercentile(pct float64) time.Duration {
+	if len(p.ages) == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, len(p.ages))
+	copy(sorted, p.ages)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(pct/100*float64(len(sorted))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
 }
