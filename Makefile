@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench bench-scale bench-serve bench-gate docs golden golden-check golden-parallel ci
+.PHONY: build vet test race bench bench-scale bench-serve bench-gate cover docs golden golden-check golden-parallel ci
 
 build:
 	$(GO) build ./...
@@ -40,14 +40,23 @@ bench-serve:
 # proves the steady-state scheduler tick and view-update rounds stay
 # allocation-free, snapshot reads allocate nothing, a snapshot
 # publication costs exactly its three buffers (header + two slices;
-# DESIGN.md §11), and a steady-state cluster step — four host steps
-# plus a no-move rebalance round (DESIGN.md §12) — amortizes to zero.
-# Part of `make ci`.
+# DESIGN.md §11), a steady-state cluster step — four host steps plus a
+# no-move rebalance round (DESIGN.md §12) — amortizes to zero, and a
+# converged autoscaler control round (DESIGN.md §13) reads, decides,
+# and holds without allocating. Part of `make ci`.
 bench-gate:
-	$(GO) test -run xxx -bench 'ScaleSteady|Snapshot|ClusterSteady' -benchmem -benchtime=20x . | tee bench-steady.txt
-	$(GO) run ./internal/tools/benchgate -match 'ScaleSteady|SnapshotRead|ClusterSteady' -max-allocs 0 bench-steady.txt
+	$(GO) test -run xxx -bench 'ScaleSteady|Snapshot|ClusterSteady|AutoscaleSteady' -benchmem -benchtime=20x . | tee bench-steady.txt
+	$(GO) run ./internal/tools/benchgate -match 'ScaleSteady|SnapshotRead|ClusterSteady|AutoscaleSteady' -max-allocs 0 bench-steady.txt
 	$(GO) run ./internal/tools/benchgate -match SnapshotPublish -max-allocs 3 bench-steady.txt
 	rm -f bench-steady.txt
+
+# Coverage gate: the autoscaler closes a feedback loop against cgroup
+# limits, so its engine must stay near-fully covered by the behavioral,
+# property, and differential layers. Part of `make ci`.
+cover:
+	$(GO) test -coverprofile=cover-autoscaler.out ./internal/autoscaler/
+	$(GO) run ./internal/tools/covercheck -min 85 cover-autoscaler.out
+	rm -f cover-autoscaler.out
 
 # Documentation gate: every package needs a package comment, and the
 # public API (arv) plus internal/sysns and internal/faults must have no
@@ -68,4 +77,4 @@ golden-check:
 golden-parallel:
 	$(GO) test -count=1 -run TestExperimentsMatchGolden -golden-workers 8 .
 
-ci: build vet docs test race bench bench-gate golden-check golden-parallel
+ci: build vet docs test race bench bench-gate cover golden-check golden-parallel

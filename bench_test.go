@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"arv"
+	"arv/internal/autoscaler"
 	"arv/internal/cluster"
 	"arv/internal/container"
 	"arv/internal/experiments"
@@ -333,6 +334,56 @@ func BenchmarkClusterSteady(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c.Step()
+	}
+}
+
+// --- autoscaler: the control loop's steady-state hot path (DESIGN.md §13) ---
+
+// autoscaleSteadyHost builds the converged control loop: eight quota'd
+// containers whose demand sits inside the target policy's deadband, so
+// every 50 ms round reads the published snapshot, decides, and writes
+// nothing. The monitor period is stretched to 96 ms so the amortized
+// per-period publication cost truncates below one alloc per step, and
+// the warm-up runs the loop past its one adoption-time growth resize.
+func autoscaleSteadyHost() *host.Host {
+	h := host.New(host.Config{CPUs: 20, Memory: 128 * units.GiB, Seed: 1})
+	h.Monitor.FixedPeriod = 96 * time.Millisecond
+	specs := make([]autoscaler.Spec, 0, 8)
+	for i := 0; i < 8; i++ {
+		name := fmt.Sprintf("c%d", i)
+		ctr := h.Runtime.Create(container.Spec{
+			Name:       name,
+			CPUQuotaUS: 200_000, CPUPeriodUS: 100_000,
+		})
+		ctr.Exec("app")
+		for k := 0; k < 2; k++ {
+			t := h.Sched.NewTask(ctr.Cgroup.CPU, "t")
+			h.Sched.SetRunnable(t, true)
+		}
+		specs = append(specs, autoscaler.Spec{Name: name, MinCPUs: 1, MaxCPUs: 4})
+	}
+	autoscaler.Attach(h, autoscaler.Config{
+		Interval: 50 * time.Millisecond,
+		Policy:   autoscaler.Target{},
+		Specs:    specs,
+	})
+	// Warm past the adoption-time resizes, stopping 5 steps short of a
+	// 50 ms round boundary: even the benchgate's short 20-step window
+	// then contains a full control round, so the gate has teeth.
+	h.Run(245 * time.Millisecond)
+	return h
+}
+
+// BenchmarkAutoscaleSteady is one dense host step with the autoscaler
+// attached and converged — control rounds fire every 50 steps, read the
+// lock-free snapshot, and hold inside the deadband. Must be 0 allocs/op
+// (gated in CI via `make bench-gate`).
+func BenchmarkAutoscaleSteady(b *testing.B) {
+	h := autoscaleSteadyHost()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Step()
 	}
 }
 

@@ -19,6 +19,14 @@
 // examples/faults.arv walks through all of it:
 //
 //	arvctl examples/faults.arv
+//
+// The `autoscale` family closes the control loop: it attaches the
+// view-driven vertical autoscaler (internal/autoscaler) with one of
+// the policies static, target, shares, or banked, puts containers
+// under management with cpu/memory clamps, and reports the loop's
+// counters; examples/autoscale.arv demonstrates it:
+//
+//	arvctl examples/autoscale.arv
 package main
 
 import (

@@ -1,0 +1,243 @@
+package autoscaler
+
+import (
+	"math"
+	"time"
+
+	"arv/internal/units"
+)
+
+// Input is everything a policy sees about one managed container for one
+// control round. All of it is derived from a single published
+// ViewSnapshot plus the engine's per-target state — policies never
+// touch live simulation objects.
+type Input struct {
+	// Interval is the usage window: virtual time between the snapshot
+	// this round consumed and the previous one.
+	Interval time.Duration
+	// UsedCPUs is the mean CPU consumption over the window, in CPUs.
+	UsedCPUs float64
+	// QuotaCPUs is the currently configured bandwidth limit in CPUs
+	// (+Inf when the container has no quota).
+	QuotaCPUs float64
+	// BaseCPUs is the allocation the engine adopted when it first saw
+	// the target — the Banked policy's baseline.
+	BaseCPUs float64
+	// BankMS is the target's quota bank, in CPU-milliseconds.
+	BankMS int64
+	// Throttled reports the container hit its bandwidth limit during
+	// the window.
+	Throttled bool
+	// Degraded reports the container's view is running on the sysns
+	// conservative staleness fallback; policies must not trust
+	// UsedCPUs and should take their conservative arm.
+	Degraded bool
+	// EffectiveCPU and LowerCPU are the adaptive view's E_CPU and its
+	// Algorithm 1 lower bound (0 when no namespace is attached).
+	EffectiveCPU int
+	LowerCPU     int
+	// Resident is the container's resident set; HardLimit its hard
+	// memory limit (0 = unlimited).
+	Resident  units.Bytes
+	HardLimit units.Bytes
+}
+
+// Decision is a policy's verdict for one round. The engine applies it
+// under the central guard rails (clamps, deadband, direction damping).
+type Decision struct {
+	// Resize requests a cpu resize to CPUs (engine-clamped into the
+	// spec's [MinCPUs, MaxCPUs]).
+	Resize bool
+	CPUs   float64
+	// SharesOnly applies the (clamped) CPUs as cpu.shares at
+	// SharesPerCPU and removes the bandwidth limit, instead of writing
+	// a quota.
+	SharesOnly bool
+	// MemHard, when > 0, requests a hard-limit resize (engine-clamped
+	// into [MinMem, MaxMem]; the soft limit follows at half). Ignored
+	// for specs with MaxMem == 0.
+	MemHard units.Bytes
+	// BankMS is the target's quota-bank balance after this round;
+	// policies that do not bank pass Input.BankMS through. It must
+	// never be negative. BankSpentMS is how much of the movement was
+	// spent on a boost (telemetry; rolled back with the resize if the
+	// guard rails suppress it).
+	BankMS      int64
+	BankSpentMS int64
+	// Conservative marks a degraded-view round where the policy fell
+	// back to its conservative arm.
+	Conservative bool
+}
+
+// Policy decides resizes for managed containers. Implementations must
+// be pure: the same Input sequence yields the same Decision sequence
+// (no RNG, no clocks, no state outside the engine-threaded bank).
+type Policy interface {
+	// Name labels the policy in telemetry, tables, and diagnostics.
+	Name() string
+	// Decide maps one round's Input to a Decision.
+	Decide(in Input) Decision
+}
+
+// Static is the no-op reference arm: an autoscaler attached with it (or
+// with no policy at all) arms no timer, reads no snapshot, and is
+// byte-identical to no autoscaler — the zero-config identity guarantee.
+type Static struct{}
+
+// Name labels the policy.
+func (Static) Name() string { return "static" }
+
+// Decide never acts (and is in fact never called: the engine
+// short-circuits inert policies before reading a snapshot, since the
+// first Snapshot call would switch publication on and perturb
+// telemetry).
+func (Static) Decide(Input) Decision { return Decision{} }
+
+// Target is the ARC-V-style usage-tracking policy: size the quota to
+// tracked usage plus headroom, grow multiplicatively while throttled,
+// and let the engine's deadband and damping supply the hysteresis.
+type Target struct {
+	// Headroom is the fraction above tracked usage to reserve
+	// (default 0.2).
+	Headroom float64
+	// Grow is the multiplicative growth factor applied to the current
+	// quota while the container is throttled (default 1.5) — throttle
+	// means usage is demand-censored, so tracking alone cannot see how
+	// much the container wants.
+	Grow float64
+	// ManageMem also tracks the hard memory limit at resident set
+	// plus MemHeadroom (default 0.25). Only specs with MaxMem > 0 are
+	// affected.
+	ManageMem   bool
+	MemHeadroom float64
+}
+
+// Name labels the policy.
+func (Target) Name() string { return "target" }
+
+// Decide sizes the quota to usage plus headroom; throttled rounds grow
+// from the current quota instead, since censored usage under-reports
+// demand. Degraded views take the conservative arm: hold.
+func (p Target) Decide(in Input) Decision {
+	if in.Degraded {
+		return Decision{BankMS: in.BankMS, Conservative: true}
+	}
+	hr := p.Headroom
+	if hr <= 0 {
+		hr = 0.2
+	}
+	desired := in.UsedCPUs * (1 + hr)
+	if in.Throttled {
+		g := p.Grow
+		if g <= 0 {
+			g = 1.5
+		}
+		q := in.QuotaCPUs
+		if math.IsInf(q, 1) {
+			q = in.BaseCPUs
+		}
+		if grown := q * g; grown > desired {
+			desired = grown
+		}
+	}
+	d := Decision{Resize: true, CPUs: desired, BankMS: in.BankMS}
+	if p.ManageMem && in.Resident > 0 {
+		mh := p.MemHeadroom
+		if mh <= 0 {
+			mh = 0.25
+		}
+		d.MemHard = in.Resident + units.Bytes(float64(in.Resident)*mh)
+	}
+	return d
+}
+
+// SharesOnly is the "CPU limits considered harmful" arm: it removes the
+// bandwidth limit entirely and expresses the desired allocation as
+// proportional cpu.shares instead. Shares are work-conserving — they
+// only bind under contention — so the container can always burst into
+// host slack, at the price of a footprint the host can no longer bound.
+type SharesOnly struct {
+	// Headroom is the fraction above tracked usage to weight for
+	// (default 0.2).
+	Headroom float64
+}
+
+// Name labels the policy.
+func (SharesOnly) Name() string { return "shares" }
+
+// Decide weights the container at usage plus headroom and removes the
+// quota. Degraded views take the conservative arm: hold.
+func (p SharesOnly) Decide(in Input) Decision {
+	if in.Degraded {
+		return Decision{BankMS: in.BankMS, Conservative: true}
+	}
+	hr := p.Headroom
+	if hr <= 0 {
+		hr = 0.2
+	}
+	return Decision{
+		Resize:     true,
+		CPUs:       in.UsedCPUs * (1 + hr),
+		SharesOnly: true,
+		BankMS:     in.BankMS,
+	}
+}
+
+// Banked is the burstable-quota arm: while the container runs below its
+// baseline the unused quota accrues into a bank (up to BankCapMS), and
+// a throttled round spends the bank to boost the quota above baseline —
+// bursts are paid for by earlier frugality, so the long-run footprint
+// stays at the baseline.
+type Banked struct {
+	// BankCapMS caps the bank in CPU-milliseconds (default 2000).
+	BankCapMS int64
+	// BurstCPUs bounds the extra CPUs a single round may draw from the
+	// bank (default: the baseline allocation).
+	BurstCPUs float64
+}
+
+// Name labels the policy.
+func (Banked) Name() string { return "banked" }
+
+// Decide accrues unused baseline quota into the bank and spends it on
+// throttled rounds. Degraded views take the conservative arm: revert to
+// the baseline and freeze the bank — a stale view must neither earn nor
+// spend.
+func (p Banked) Decide(in Input) Decision {
+	if in.Degraded {
+		return Decision{Resize: true, CPUs: in.BaseCPUs, BankMS: in.BankMS, Conservative: true}
+	}
+	bankCap := p.BankCapMS
+	if bankCap <= 0 {
+		bankCap = 2000
+	}
+	burst := p.BurstCPUs
+	if burst <= 0 {
+		burst = in.BaseCPUs
+	}
+	ivlMS := float64(in.Interval) / float64(time.Millisecond)
+	bank := in.BankMS
+	if unused := in.BaseCPUs - in.UsedCPUs; unused > 0 {
+		bank += int64(unused * ivlMS)
+		if bank > bankCap {
+			bank = bankCap
+		}
+	}
+	if in.Throttled {
+		extra := burst
+		if avail := float64(bank) / ivlMS; avail < extra {
+			extra = avail
+		}
+		if extra > 0 {
+			spent := int64(extra * ivlMS)
+			bank -= spent
+			return Decision{
+				Resize:      true,
+				CPUs:        in.BaseCPUs + extra,
+				BankMS:      bank,
+				BankSpentMS: spent,
+			}
+		}
+	}
+	return Decision{Resize: true, CPUs: in.BaseCPUs, BankMS: bank}
+}

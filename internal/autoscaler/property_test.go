@@ -1,0 +1,138 @@
+package autoscaler
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// The resize-engine property test (mirroring the sysns mirror-monitor
+// test): drive decideOne — the pure core every control round runs —
+// with randomized usage/pressure sequences and assert the engine's
+// guard rails hold unconditionally:
+//
+//   - an applied resize always lands inside the spec's [MinCPUs,
+//     MaxCPUs] clamps;
+//   - hysteresis is never violated two rounds in a row: an applied
+//     resize never reverses the immediately preceding round's applied
+//     direction, and never moves by less than the deadband;
+//   - the quota bank never goes negative;
+//   - the same seed yields a byte-identical action sequence.
+
+// propAction is the recorded outcome of one property-test round.
+type propAction struct {
+	Round        uint64
+	WriteCPU     bool
+	CPUs         float64
+	SharesOnly   bool
+	Conservative bool
+	BankMS       int64
+	BankSpentMS  int64
+}
+
+// runPropertySequence drives one policy through rounds randomized
+// rounds and returns the action log (for the same-seed identity check),
+// asserting every engine invariant along the way.
+func runPropertySequence(t *testing.T, seed int64, pol Policy, rounds int) []propAction {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	s := Spec{Name: "x", MinCPUs: 0.5, MaxCPUs: 8}
+	const hyst = 0.1
+	st := &state{init: true, curCPUs: 2, baseCPUs: 2}
+	log := make([]propAction, 0, rounds)
+
+	var lastDir int8
+	var lastDirRound uint64
+	for r := uint64(1); r <= uint64(rounds); r++ {
+		in := Input{
+			Interval:  100 * time.Millisecond,
+			UsedCPUs:  rng.Float64() * 10,
+			QuotaCPUs: st.curCPUs,
+			BaseCPUs:  st.baseCPUs,
+			BankMS:    st.bankMS,
+			Throttled: rng.Float64() < 0.3,
+			Degraded:  rng.Float64() < 0.05,
+		}
+		prev := st.curCPUs
+		act := decideOne(pol, s, hyst, r, st, in)
+
+		if st.bankMS < 0 {
+			t.Fatalf("%s seed %d round %d: quota bank negative: %d", pol.Name(), seed, r, st.bankMS)
+		}
+		if act.writeCPU {
+			if act.cpus < s.MinCPUs-1e-9 || act.cpus > s.MaxCPUs+1e-9 {
+				t.Fatalf("%s seed %d round %d: resize %v outside clamps [%v, %v]",
+					pol.Name(), seed, r, act.cpus, s.MinCPUs, s.MaxCPUs)
+			}
+			diff := act.cpus - prev
+			if math.Abs(diff) < hyst*prev-1e-9 {
+				t.Fatalf("%s seed %d round %d: resize %v -> %v inside the %v deadband",
+					pol.Name(), seed, r, prev, act.cpus, hyst)
+			}
+			dir := int8(1)
+			if diff < 0 {
+				dir = -1
+			}
+			if lastDir != 0 && dir == -lastDir && r == lastDirRound+1 {
+				t.Fatalf("%s seed %d round %d: resize reversed round %d's direction",
+					pol.Name(), seed, r, lastDirRound)
+			}
+			lastDir, lastDirRound = dir, r
+		}
+		log = append(log, propAction{
+			Round:        r,
+			WriteCPU:     act.writeCPU,
+			CPUs:         act.cpus,
+			SharesOnly:   act.sharesOnly,
+			Conservative: act.conservative,
+			BankMS:       st.bankMS,
+			BankSpentMS:  act.bankSpentMS,
+		})
+	}
+	return log
+}
+
+func TestResizeEngineProperties(t *testing.T) {
+	policies := []Policy{
+		Target{},
+		SharesOnly{},
+		Banked{BankCapMS: 1500, BurstCPUs: 2},
+	}
+	for _, seed := range []int64{1, 2, 3, 4} {
+		for _, pol := range policies {
+			first := runPropertySequence(t, seed, pol, 1500)
+			again := runPropertySequence(t, seed, pol, 1500)
+			if !reflect.DeepEqual(first, again) {
+				t.Fatalf("%s seed %d: same-seed runs diverged", pol.Name(), seed)
+			}
+			applied := 0
+			for _, a := range first {
+				if a.WriteCPU {
+					applied++
+				}
+			}
+			if applied == 0 {
+				t.Fatalf("%s seed %d: sequence applied no resizes (vacuous)", pol.Name(), seed)
+			}
+		}
+	}
+}
+
+// TestNegativeBankPanics pins the engine's hard invariant: a policy
+// that drives the bank negative is a programming error, not a state.
+func TestNegativeBankPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on negative bank")
+		}
+	}()
+	st := &state{init: true, curCPUs: 2}
+	decideOne(badBankPolicy{}, Spec{Name: "x", MinCPUs: 1, MaxCPUs: 4}, 0.1, 1, st, Input{})
+}
+
+type badBankPolicy struct{}
+
+func (badBankPolicy) Name() string          { return "bad-bank" }
+func (badBankPolicy) Decide(Input) Decision { return Decision{BankMS: -1} }

@@ -37,7 +37,7 @@ func cell(t *testing.T, tb *texttable.Table, row, col int) float64 {
 }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"abl-cpu", "abl-mem", "abl-period", "ext-cluster", "ext-httpd", "ext-launch", "ext-probe", "ext-views", "fault-churn", "fault-staleness", "fig1", "fig10", "fig11", "fig12", "fig2a", "fig2b", "fig6", "fig7", "fig8", "fig9"}
+	want := []string{"abl-cpu", "abl-mem", "abl-period", "ext-autoscale", "ext-cluster", "ext-httpd", "ext-launch", "ext-probe", "ext-views", "fault-churn", "fault-staleness", "fig1", "fig10", "fig11", "fig12", "fig2a", "fig2b", "fig6", "fig7", "fig8", "fig9"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("registered %d experiments, want %d", len(all), len(want))
@@ -318,6 +318,48 @@ func TestExtClusterShape(t *testing.T) {
 	n0 := strings.SplitN(tb.Rows[1][1], "/", 2)[0]
 	if s0 := strings.SplitN(tb.Rows[0][1], "/", 2)[0]; n0 >= s0 && s0 != "0" {
 		t.Errorf("adaptive put %s services on the saturated node vs static's %s", n0, s0)
+	}
+}
+
+// The autoscale experiment's acceptance shape: the target arm beats the
+// static reference on BOTH p99 latency and CPU-seconds footprint, the
+// static arm never resizes, the shares arm pays the full-host footprint
+// for its latency, and only the banked arm spends bank.
+func TestExtAutoscaleShape(t *testing.T) {
+	res := smoke(t, "ext-autoscale")
+	tb := res.Tables[0]
+	if len(tb.Rows) != 4 || tb.Rows[0][0] != "static" || tb.Rows[1][0] != "target" {
+		t.Fatalf("unexpected arm rows: %v", tb.Rows)
+	}
+	p99 := func(row int) time.Duration {
+		d, err := time.ParseDuration(tb.Rows[row][3])
+		if err != nil {
+			t.Fatalf("row %d p99 = %q: %v", row, tb.Rows[row][3], err)
+		}
+		return d
+	}
+	if p99(1) >= p99(0) {
+		t.Errorf("target p99 %v not below static %v", p99(1), p99(0))
+	}
+	if tFoot, sFoot := cell(t, tb, 1, 4), cell(t, tb, 0, 4); tFoot >= sFoot {
+		t.Errorf("target footprint %v not below static %v", tFoot, sFoot)
+	}
+	if cell(t, tb, 0, 5) != 0 {
+		t.Error("static arm resized")
+	}
+	if cell(t, tb, 1, 5) == 0 {
+		t.Error("target arm never resized")
+	}
+	if shFoot, sFoot := cell(t, tb, 2, 4), cell(t, tb, 0, 4); shFoot <= sFoot {
+		t.Errorf("shares footprint %v should dwarf static's %v", shFoot, sFoot)
+	}
+	for r := 0; r < 3; r++ {
+		if cell(t, tb, r, 7) != 0 {
+			t.Errorf("non-banked arm %s spent bank", tb.Rows[r][0])
+		}
+	}
+	if cell(t, tb, 3, 7) == 0 {
+		t.Error("banked arm never spent bank")
 	}
 }
 

@@ -120,6 +120,16 @@ type Host struct {
 	fastForward bool
 }
 
+// OnNew, when non-nil, is invoked with every freshly built host at the
+// end of New. It exists so cross-cutting layers can attach themselves
+// to every host a test run builds, no matter how deep the construction
+// site: the zero-config identity tests set it to attach an inert
+// subsystem (a Static-policy autoscaler) to every experiment host and
+// prove the goldens stay byte-identical. Set it from single-threaded
+// test setup and clear it afterwards; the hook runs on whichever
+// goroutine calls New and must only touch the host it is handed.
+var OnNew func(*Host)
+
 // New builds a host from cfg and starts the ns_monitor update timer.
 func New(cfg Config) *Host {
 	tick := cfg.Tick
@@ -155,6 +165,9 @@ func New(cfg Config) *Host {
 	// dense per-tick work, the rest contribute events and telemetry.
 	h.subsystems = []Subsystem{sched, mem, mon, timerWheel{clock}}
 	mon.Start()
+	if OnNew != nil {
+		OnNew(h)
+	}
 	return h
 }
 

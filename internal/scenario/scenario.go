@@ -25,6 +25,10 @@
 //	fault churn NAME interval=DURATION [jitter=FRAC] [quota=MIN:MAX]
 //	            [hard=SIZE:SIZE] [count=N]
 //	fault kill NAME at=DURATION [restart] [delay=DURATION]
+//	autoscale policy NAME [interval=DURATION] [hysteresis=FRAC]
+//	                 [headroom=FRAC] [grow=FRAC] [cap=MS] [burst=CPUS]
+//	autoscale manage NAME [min=CPUS] [max=CPUS] [memmin=SIZE] [memmax=SIZE]
+//	autoscale status
 //
 // The fault family drives the deterministic fault injector
 // (internal/faults) against the script's host. `fault events` drops or
@@ -42,6 +46,15 @@
 // All probabilistic decisions come from the injector's own seeded RNG
 // (`fault seed`, default 1): replaying a script reproduces the exact
 // same fault schedule.
+//
+// The autoscale family drives the view-driven vertical autoscaler
+// (internal/autoscaler). `autoscale policy` attaches it with one of
+// static, target, shares, or banked (policy knobs ride as options:
+// `headroom`/`grow` for target, `headroom` for shares, `cap`/`burst`
+// for banked); `autoscale manage` puts a container under management
+// with optional cpu and memory clamps; `autoscale status` prints the
+// control loop's counters. The autoscaler is deterministic and RNG-free:
+// replaying a script reproduces the exact same resize sequence.
 package scenario
 
 import (
@@ -53,11 +66,13 @@ import (
 	"strings"
 	"time"
 
+	"arv/internal/autoscaler"
 	"arv/internal/container"
 	"arv/internal/faults"
 	"arv/internal/host"
 	"arv/internal/jvm"
 	"arv/internal/omp"
+	"arv/internal/telemetry"
 	"arv/internal/units"
 	"arv/internal/workloads"
 )
@@ -70,6 +85,7 @@ type Interp struct {
 
 	h     *host.Host
 	inj   *faults.Injector
+	auto  *autoscaler.Autoscaler
 	ctrs  map[string]*container.Container
 	pods  map[string]*container.Pod
 	progs []host.Program
@@ -167,6 +183,8 @@ func (in *Interp) exec(args []string) error {
 		return nil
 	case "fault":
 		return in.cmdFault(args[1:])
+	case "autoscale":
+		return in.cmdAutoscale(args[1:])
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
 	}
@@ -636,6 +654,136 @@ func (in *Interp) cmdFault(args []string) error {
 		return nil
 	default:
 		return fmt.Errorf("unknown fault subcommand %q", sub)
+	}
+}
+
+func (in *Interp) cmdAutoscale(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: autoscale policy|manage|status ...")
+	}
+	switch sub := args[0]; sub {
+	case "policy":
+		if in.auto != nil {
+			return fmt.Errorf("autoscale policy already set (%s)", in.auto.Policy().Name())
+		}
+		if len(args) < 2 {
+			return fmt.Errorf("usage: autoscale policy static|target|shares|banked [options]")
+		}
+		name := args[1]
+		var (
+			interval time.Duration
+			hyst     float64
+			headroom float64
+			grow     float64
+			capMS    int64
+			burst    float64
+		)
+		for _, kv := range args[2:] {
+			k, v, ok := strings.Cut(kv, "=")
+			if !ok {
+				return fmt.Errorf("bad option %q (want key=value)", kv)
+			}
+			var err error
+			switch k {
+			case "interval":
+				interval, err = time.ParseDuration(v)
+			case "hysteresis":
+				hyst, err = strconv.ParseFloat(v, 64)
+			case "headroom":
+				headroom, err = strconv.ParseFloat(v, 64)
+			case "grow":
+				grow, err = strconv.ParseFloat(v, 64)
+			case "cap":
+				capMS, err = strconv.ParseInt(v, 10, 64)
+			case "burst":
+				burst, err = strconv.ParseFloat(v, 64)
+			default:
+				return fmt.Errorf("unknown policy option %q", k)
+			}
+			if err != nil {
+				return fmt.Errorf("option %s: %w", k, err)
+			}
+		}
+		var pol autoscaler.Policy
+		switch name {
+		case "static":
+			pol = autoscaler.Static{}
+		case "target":
+			pol = autoscaler.Target{Headroom: headroom, Grow: grow}
+		case "shares":
+			pol = autoscaler.SharesOnly{Headroom: headroom}
+		case "banked":
+			pol = autoscaler.Banked{BankCapMS: capMS, BurstCPUs: burst}
+		default:
+			return fmt.Errorf("unknown autoscale policy %q", name)
+		}
+		h := in.Host()
+		if h.Trace == nil {
+			// Telemetry is passive; enabling it here only makes
+			// `autoscale status` counters real.
+			h.EnableTelemetry(0)
+		}
+		in.auto = autoscaler.Attach(h, autoscaler.Config{
+			Interval:   interval,
+			Hysteresis: hyst,
+			Policy:     pol,
+		})
+		return nil
+	case "manage":
+		if in.auto == nil {
+			return fmt.Errorf("autoscale manage before autoscale policy")
+		}
+		if len(args) < 2 {
+			return fmt.Errorf("usage: autoscale manage NAME [min=CPUS] [max=CPUS] [memmin=SIZE] [memmax=SIZE]")
+		}
+		if _, err := in.Container(args[1]); err != nil {
+			return err
+		}
+		spec := autoscaler.Spec{Name: args[1]}
+		for _, kv := range args[2:] {
+			k, v, ok := strings.Cut(kv, "=")
+			if !ok {
+				return fmt.Errorf("bad option %q (want key=value)", kv)
+			}
+			var err error
+			switch k {
+			case "min":
+				spec.MinCPUs, err = strconv.ParseFloat(v, 64)
+			case "max":
+				spec.MaxCPUs, err = strconv.ParseFloat(v, 64)
+			case "memmin":
+				spec.MinMem, err = ParseSize(v)
+			case "memmax":
+				spec.MaxMem, err = ParseSize(v)
+			default:
+				return fmt.Errorf("unknown manage option %q", k)
+			}
+			if err != nil {
+				return fmt.Errorf("option %s: %w", k, err)
+			}
+		}
+		if spec.MaxCPUs != 0 && spec.MaxCPUs < spec.MinCPUs {
+			return fmt.Errorf("inverted cpu range %v:%v", spec.MinCPUs, spec.MaxCPUs)
+		}
+		if spec.MaxMem != 0 && spec.MaxMem < spec.MinMem {
+			return fmt.Errorf("inverted memory range %v:%v", spec.MinMem, spec.MaxMem)
+		}
+		in.auto.Manage(spec)
+		return nil
+	case "status":
+		if in.auto == nil {
+			fmt.Fprintln(in.out(), "autoscaler: not attached")
+			return nil
+		}
+		tr := in.Host().Trace
+		fmt.Fprintf(in.out(),
+			"autoscaler: policy=%s rounds=%d conservative=%d held=%d resizes=%d clamped=%d bank_spent_ms=%d\n",
+			in.auto.Policy().Name(), in.auto.Rounds(), in.auto.ConservativeRounds(), in.auto.HeldRounds(),
+			tr.Count(telemetry.CtrAutoscaleResizes), tr.Count(telemetry.CtrAutoscaleClamped),
+			tr.Count(telemetry.CtrAutoscaleBankSpentMS))
+		return nil
+	default:
+		return fmt.Errorf("unknown autoscale subcommand %q", sub)
 	}
 }
 

@@ -254,6 +254,61 @@ advance 100ms`)
 	}
 }
 
+func TestAutoscaleCommands(t *testing.T) {
+	in, out := run(t, `host 8 16GiB
+create svc quota=2
+exec svc app
+sysbench svc 6 1000000
+autoscale policy target interval=100ms hysteresis=0.1 headroom=0.2
+autoscale manage svc min=1 max=7
+advance 3s
+autoscale status`)
+	c, err := in.Container("svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q := float64(c.Cgroup.CPU.QuotaUS) / 100_000; q <= 2 || q > 7 {
+		t.Fatalf("autoscaled quota = %v CPUs, want grown within (2, 7]", q)
+	}
+	s := out.String()
+	if !strings.Contains(s, "policy=target") || !strings.Contains(s, "rounds=") {
+		t.Fatalf("status output malformed:\n%s", s)
+	}
+}
+
+func TestAutoscaleStatusBeforeAttach(t *testing.T) {
+	_, out := run(t, "autoscale status")
+	if !strings.Contains(out.String(), "not attached") {
+		t.Fatalf("status without policy: %q", out.String())
+	}
+}
+
+func TestAutoscaleCommandErrors(t *testing.T) {
+	cases := map[string]string{
+		"no subcommand":      "autoscale",
+		"unknown sub":        "autoscale frob",
+		"policy no name":     "autoscale policy",
+		"unknown policy":     "autoscale policy nope",
+		"policy bad opt":     "autoscale policy target nope=1",
+		"policy bad value":   "autoscale policy target interval=x",
+		"policy no equals":   "autoscale policy target interval",
+		"policy twice":       "autoscale policy target\nautoscale policy banked",
+		"manage before":      "create a\nautoscale manage a",
+		"manage unknown ctr": "autoscale policy target\nautoscale manage nope",
+		"manage no name":     "autoscale policy target\nautoscale manage",
+		"manage bad opt":     "create a\nautoscale policy target\nautoscale manage a nope=1",
+		"manage bad value":   "create a\nautoscale policy target\nautoscale manage a min=x",
+		"manage cpu range":   "create a\nautoscale policy target\nautoscale manage a min=4 max=2",
+		"manage mem range":   "create a\nautoscale policy target\nautoscale manage a memmin=2GiB memmax=1GiB",
+	}
+	for name, script := range cases {
+		in := New(nil)
+		if err := in.Run(strings.NewReader(script)); err == nil {
+			t.Errorf("%s: script %q should fail", name, script)
+		}
+	}
+}
+
 func TestFaultCommandErrors(t *testing.T) {
 	cases := map[string]string{
 		"no subcommand":     "fault",

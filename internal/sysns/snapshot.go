@@ -169,9 +169,17 @@ func (m *Monitor) Snapshot() *ViewSnapshot {
 // accumulated while nobody was reading. Call it from the simulation
 // goroutine before exposing Snapshot to concurrent readers
 // (fsd.NewServer and the prober workload do).
+//
+// It also guards the Snapshot-never-nil contract: a monitor that has
+// tracked zero pods since construction may never have cut a snapshot
+// (NewMonitor publishes one, but a monitor assembled without it — or a
+// future construction path that defers the initial cut — would not),
+// and a consumer warming at exactly that point would race the first
+// publish and crash on a nil view. Warming therefore publishes whenever
+// no snapshot exists yet, dirty or not.
 func (m *Monitor) WarmSnapshot() {
 	m.observed.Store(true)
-	if m.snapDirty {
+	if m.snap.Load() == nil || m.snapDirty {
 		m.Publish(m.clock.Now())
 	}
 }

@@ -64,6 +64,12 @@ const (
 	// Actor is the container name; A = the destination node index,
 	// B = the modeled migration time in nanoseconds.
 	KindMigration
+	// KindResize: the autoscaler rewrote a managed container's limits.
+	// Actor is the container name; A = the new cpu allocation in
+	// milli-CPUs (applied as quota, or as shares under a shares-only
+	// policy), B = the quota-bank milliseconds spent into this resize
+	// (0 for non-banked policies).
+	KindResize
 )
 
 // String returns the event-kind name.
@@ -93,6 +99,8 @@ func (k Kind) String() string {
 		return "placement"
 	case KindMigration:
 		return "migration"
+	case KindResize:
+		return "resize"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -179,6 +187,15 @@ const (
 	// CtrRebalanceRounds counts cluster rebalance rounds, including
 	// rounds that moved nothing.
 	CtrRebalanceRounds
+	// CtrAutoscaleResizes counts limit rewrites the autoscaler applied
+	// to managed containers (cpu and memory resizes each count once).
+	CtrAutoscaleResizes
+	// CtrAutoscaleClamped counts autoscaler decisions whose requested
+	// allocation had to be clamped into the target's min/max range.
+	CtrAutoscaleClamped
+	// CtrAutoscaleBankSpentMS accumulates the quota-bank CPU-milliseconds
+	// the banked policy spent on bursts.
+	CtrAutoscaleBankSpentMS
 
 	numCounters
 )
@@ -236,6 +253,12 @@ func (c Counter) String() string {
 		return "cluster.migration_ms"
 	case CtrRebalanceRounds:
 		return "cluster.rebalance_rounds"
+	case CtrAutoscaleResizes:
+		return "autoscaler.resizes"
+	case CtrAutoscaleClamped:
+		return "autoscaler.clamped"
+	case CtrAutoscaleBankSpentMS:
+		return "autoscaler.bank_spent_ms"
 	default:
 		return fmt.Sprintf("Counter(%d)", int(c))
 	}

@@ -1,0 +1,81 @@
+// Command covercheck enforces a statement-coverage floor on a
+// `go test -coverprofile` output file (a gate, like benchgate, rather
+// than a report): it sums the covered and total statement counts across
+// every profile block and fails if covered/total falls below -min
+// percent. An empty profile is also a failure, so a mistyped package
+// path cannot silently disarm the gate.
+//
+// Usage (see `make cover`):
+//
+//	go test -coverprofile=cover.out ./internal/autoscaler/
+//	go run ./internal/tools/covercheck -min 85 cover.out
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	min := flag.Float64("min", 0, "minimum statement coverage in percent (required, > 0)")
+	flag.Parse()
+	if *min <= 0 || flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: covercheck -min PERCENT cover.out")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "covercheck:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+
+	// Each profile line after the mode header reads
+	//
+	//	name.go:line.col,line.col numStatements hitCount
+	//
+	// A statement counts as covered when its hit count is non-zero.
+	var covered, total int64
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "mode:") || line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			fmt.Fprintf(os.Stderr, "covercheck: malformed profile line %q\n", line)
+			os.Exit(1)
+		}
+		stmts, err1 := strconv.ParseInt(fields[1], 10, 64)
+		hits, err2 := strconv.ParseInt(fields[2], 10, 64)
+		if err1 != nil || err2 != nil {
+			fmt.Fprintf(os.Stderr, "covercheck: malformed profile line %q\n", line)
+			os.Exit(1)
+		}
+		total += stmts
+		if hits > 0 {
+			covered += stmts
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "covercheck:", err)
+		os.Exit(1)
+	}
+	if total == 0 {
+		fmt.Fprintln(os.Stderr, "covercheck: profile contains no statements")
+		os.Exit(1)
+	}
+	pct := 100 * float64(covered) / float64(total)
+	if pct < *min {
+		fmt.Fprintf(os.Stderr, "covercheck: coverage %.1f%% below the %.1f%% floor (%d/%d statements)\n",
+			pct, *min, covered, total)
+		os.Exit(1)
+	}
+	fmt.Printf("covercheck: coverage %.1f%% meets the %.1f%% floor (%d/%d statements)\n",
+		pct, *min, covered, total)
+}

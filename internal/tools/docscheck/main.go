@@ -31,9 +31,10 @@ import (
 // strictPkgs are the directories (relative to the module root) whose
 // exported symbols must all be documented, not just the package itself.
 var strictPkgs = map[string]bool{
-	".":               true, // package arv, the public API
-	"internal/sysns":  true,
-	"internal/faults": true,
+	".":                   true, // package arv, the public API
+	"internal/sysns":      true,
+	"internal/faults":     true,
+	"internal/autoscaler": true,
 }
 
 func main() {

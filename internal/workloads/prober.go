@@ -45,6 +45,7 @@ type Prober struct {
 	MaxAge       time.Duration
 	VersionsSeen uint64 // distinct snapshot versions observed
 	MaxVersionLag uint64 // largest version jump between consecutive bursts
+	MissedBursts uint64 // bursts skipped: snapshot did not carry the container yet
 	MinECPU      int
 	MaxECPU      int
 
@@ -118,10 +119,13 @@ func (p *Prober) Poll(now sim.Time) {
 	snap := p.h.Monitor.Snapshot()
 	cv := snap.Container(p.ctr.Name)
 	if cv == nil {
-		// Detached between the state check and the load (not reachable
-		// today — detach implies Stopped — but fail soft, like a real
-		// poller racing a teardown).
-		p.done = true
+		// The published snapshot does not carry this container yet: the
+		// warm-up burst raced the first post-attach publish (a monitor
+		// with zero tracked pods at Start publishes a container-less
+		// snapshot), or the container detached mid-teardown. A real
+		// poller retries; so do we — a genuinely dead container exits
+		// through the Stopped check on the next poll.
+		p.MissedBursts++
 		return
 	}
 	view := sysfs.SnapView{C: cv, Host: &snap.Host}

@@ -185,6 +185,35 @@ func TestMemHogHoldForever(t *testing.T) {
 	}
 }
 
+func TestProberRetriesWhenSnapshotLacksContainer(t *testing.T) {
+	// Regression test for the warm-up race: when the prober's first
+	// burst reads a snapshot that does not carry its container yet, the
+	// old code declared the prober done and silently stopped probing.
+	// Reproduce the shape deterministically by probing a container the
+	// monitor never tracks (it lives on a different host): every burst
+	// must count as missed and the prober must keep retrying until its
+	// deadline, not die on the first miss.
+	hA := host.New(host.Config{CPUs: 4, Memory: units.GiB, Seed: 1})
+	ctr := hA.Runtime.Create(container.Spec{Name: "probe-me"})
+	ctr.Exec("x")
+	hB := host.New(host.Config{CPUs: 4, Memory: units.GiB, Seed: 2})
+	p := NewProber(hB, ctr, 10*time.Millisecond, 4, 100*time.Millisecond)
+	p.Start()
+	hB.Run(150 * time.Millisecond)
+	if !p.Done() {
+		t.Fatal("prober must finish at its deadline")
+	}
+	if p.MissedBursts == 0 {
+		t.Fatal("expected missed bursts while the snapshot lacks the container")
+	}
+	if p.MissedBursts < 5 {
+		t.Fatalf("prober stopped retrying: only %d missed bursts", p.MissedBursts)
+	}
+	if p.Bursts != 0 || p.Probes != 0 {
+		t.Fatalf("no burst can complete: bursts=%d probes=%d", p.Bursts, p.Probes)
+	}
+}
+
 func TestMemHogKilledOnOOM(t *testing.T) {
 	h := host.New(host.Config{CPUs: 4, Memory: 2 * units.GiB, SwapCapacity: 64 * units.MiB, Seed: 1})
 	a := h.Runtime.Create(container.Spec{Name: "a"})
