@@ -18,11 +18,12 @@ bench:
 	$(GO) test -run xxx -bench . -benchtime=1x .
 
 # Container-scale benchmark family: regenerate BENCH_scale.json (the
-# committed trajectory point) and gate the steady-state hot paths at
-# 0 allocs/op. Use the default settings when refreshing the committed
-# baseline; CI runs the shorter bench-gate instead.
+# committed trajectory, best-of-3 per point; see SCALING.md) and gate
+# the steady-state hot paths at 0 allocs/op. Use the default settings
+# when refreshing the committed baseline; CI runs the shorter bench-gate
+# instead.
 bench-scale:
-	$(GO) run ./cmd/arvbench -scalebench 64,256,1024 -json BENCH_scale.json
+	$(GO) run ./cmd/arvbench -scalebench 64,256,1024,4096,16384 -scalebench-reps 3 -json BENCH_scale.json
 	$(GO) test -run xxx -bench ScaleSteady -benchmem -benchtime=50x . | tee bench-steady.txt
 	$(GO) run ./internal/tools/benchgate -match ScaleSteady -max-allocs 0 bench-steady.txt
 	rm -f bench-steady.txt
@@ -43,12 +44,18 @@ bench-serve:
 # DESIGN.md §11), a steady-state cluster step — four host steps plus a
 # no-move rebalance round (DESIGN.md §12) — amortizes to zero, and a
 # converged autoscaler control round (DESIGN.md §13) reads, decides,
-# and holds without allocating. Part of `make ci`.
+# and holds without allocating. The final step is the wall-clock
+# regression gate (SCALING.md): a fresh best-of-3 n=1024 scalebench run
+# must stay within 25% of the committed BENCH_scale.json row. Part of
+# `make ci`.
 bench-gate:
 	$(GO) test -run xxx -bench 'ScaleSteady|Snapshot|ClusterSteady|AutoscaleSteady' -benchmem -benchtime=20x . | tee bench-steady.txt
 	$(GO) run ./internal/tools/benchgate -match 'ScaleSteady|SnapshotRead|ClusterSteady|AutoscaleSteady' -max-allocs 0 bench-steady.txt
 	$(GO) run ./internal/tools/benchgate -match SnapshotPublish -max-allocs 3 bench-steady.txt
 	rm -f bench-steady.txt
+	$(GO) run ./cmd/arvbench -scalebench 1024 -scalebench-reps 3 -json bench-scale-fresh.json
+	$(GO) run ./internal/tools/benchgate -scale-baseline BENCH_scale.json -scale-fresh bench-scale-fresh.json -scale-n 1024 -max-regress 0.25
+	rm -f bench-scale-fresh.json
 
 # Coverage gate: the autoscaler closes a feedback loop against cgroup
 # limits, so its engine must stay near-fully covered by the behavioral,

@@ -206,13 +206,14 @@ func BenchmarkKernelDense(b *testing.B) { benchKernel(b, true) }
 
 // --- scale: container counts well past the paper's testbed ---
 //
-// The `scale` family (see internal/scalebench and DESIGN.md §10) runs
-// synthetic hosts with 64/256/1024 flat containers under per-container
-// limit churn and reports wall-clock cost per simulated second. The
-// SteadyTick/SteadyUpdate variants isolate the two per-round hot paths —
-// cfs.Scheduler.Tick and sysns.Monitor.UpdateAll — and must report
-// 0 allocs/op (gated in CI by internal/tools/benchgate via
-// `make bench-scale`).
+// The `scale` family (see internal/scalebench, DESIGN.md §14, and
+// SCALING.md) runs synthetic hosts with 64..16384 flat containers under
+// per-container limit churn and reports wall-clock cost per simulated
+// second. The SteadyTick/SteadyUpdate variants isolate the two per-round
+// hot paths — cfs.Scheduler.Tick and sysns.Monitor.UpdateAll — and must
+// report 0 allocs/op (gated in CI by internal/tools/benchgate via
+// `make bench-gate`; `make bench-scale` regenerates the committed
+// BENCH_scale.json trajectory).
 
 func benchScaleChurn(b *testing.B, n int) {
 	cfg := scalebench.Defaults(n)
@@ -228,9 +229,11 @@ func benchScaleChurn(b *testing.B, n int) {
 	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/cfg.Span.Seconds(), "ns/sim-s")
 }
 
-func BenchmarkScale64(b *testing.B)   { benchScaleChurn(b, 64) }
-func BenchmarkScale256(b *testing.B)  { benchScaleChurn(b, 256) }
-func BenchmarkScale1024(b *testing.B) { benchScaleChurn(b, 1024) }
+func BenchmarkScale64(b *testing.B)    { benchScaleChurn(b, 64) }
+func BenchmarkScale256(b *testing.B)   { benchScaleChurn(b, 256) }
+func BenchmarkScale1024(b *testing.B)  { benchScaleChurn(b, 1024) }
+func BenchmarkScale4096(b *testing.B)  { benchScaleChurn(b, 4096) }
+func BenchmarkScale16384(b *testing.B) { benchScaleChurn(b, 16384) }
 
 // steadyBench builds an n-container host without churn and warms it up,
 // leaving the steady-state substrate ready for single-path iteration.
@@ -245,7 +248,7 @@ func steadyBench(n int) *scalebench.Bench {
 // BenchmarkScaleSteadyTick is one CFS allocation round at scale: the
 // densest per-tick cost on a churn-free host. Must be 0 allocs/op.
 func BenchmarkScaleSteadyTick(b *testing.B) {
-	for _, n := range []int{64, 256, 1024} {
+	for _, n := range []int{64, 256, 1024, 4096, 16384} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			sb := steadyBench(n)
 			now := sb.H.Now()
@@ -261,7 +264,7 @@ func BenchmarkScaleSteadyTick(b *testing.B) {
 // BenchmarkScaleSteadyUpdate is one full ns_monitor round (Algorithm 1 +
 // Algorithm 2 for every container) at scale. Must be 0 allocs/op.
 func BenchmarkScaleSteadyUpdate(b *testing.B) {
-	for _, n := range []int{64, 256, 1024} {
+	for _, n := range []int{64, 256, 1024, 4096, 16384} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
 			sb := steadyBench(n)
 			now := sb.H.Now()

@@ -24,6 +24,28 @@
 // 1/(1+gamma*(r-1)) where r is the oversubscription ratio and gamma a
 // per-group sensitivity. This reproduces the over-threading penalties the
 // paper measures (Figs. 2a, 6, 7, 10) that a pure fluid model would hide.
+//
+// # Allocation memoization and hot-state layout
+//
+// The division of CPU among groups is a pure function of the scheduler's
+// configuration (shares, quota, cpuset, group topology) and the runnable
+// counts. The scheduler therefore computes it only when one of those
+// inputs changes: every mutating entry point (SetShares, SetQuota,
+// SetCpuset, SetRunnable, task/group lifecycle, SkipIdle) invalidates the
+// memo, and the next Tick recomputes caps and the water fill with the
+// exact loop a non-memoizing scheduler would run every tick — so results
+// are bit-identical, just not recomputed when nothing changed. Ticks in
+// between advance accounting for the active groups only (the groups with
+// a non-zero rate), touching one groupAcct slot and the runnable tasks of
+// each.
+//
+// Per-group hot state lives in struct-of-arrays form on the Scheduler
+// (gCap, gRate, gAcct), indexed by the group's slot in Groups(). Slots
+// are index-stable except across RemoveGroup, which compacts all arrays
+// in step. Configuration fields on Group remain exported for reading;
+// writing them directly on a live scheduler bypasses invalidation and is
+// reserved for building fixtures before the first Tick — mutate through
+// the Scheduler setters instead.
 package cfs
 
 import (
@@ -75,22 +97,53 @@ func (t *Task) Runnable() bool { return t.runnable }
 // Group returns the scheduling group the task belongs to.
 func (t *Task) Group() *Group { return t.group }
 
+// groupAcct is a group's per-tick hot state: the accounting accumulators
+// the tick loop writes and the cached water-fill derivatives it reads.
+// One slot per group, stored in a Scheduler-owned array parallel to
+// Groups() so a steady-state tick walks a contiguous slab instead of
+// chasing Group pointers.
+type groupAcct struct {
+	usage        units.CPUSeconds // total raw CPU time
+	windowUsage  units.CPUSeconds // since last TakeWindowUsage
+	throttledDur time.Duration    // wall time with the quota cap binding
+	perTask      float64          // rate / runnable tasks (leaves; 0 when idle)
+	over         float64          // oversubscription excess (leaves)
+	flags        uint8
+}
+
+const (
+	// acctThrottled: a bandwidth limit (the group's own, or its
+	// parent's) capped the group's allocation in the most recent tick.
+	acctThrottled uint8 = 1 << iota
+	// acctDurBinding: the group's own limit is binding, so
+	// throttledDur accrues every tick while the allocation holds.
+	acctDurBinding
+	// acctFlagsDirty: a cap-preserving limit change touched the group
+	// since the last tick; its throttle state must be re-evaluated
+	// (alloc provably unchanged, so no full rebuild is needed).
+	acctFlagsDirty
+)
+
 // Group is a scheduling control group (the cpu controller of a cgroup).
 type Group struct {
 	Name string
 
-	// Shares is the cpu.shares weight (default 1024).
+	// Shares is the cpu.shares weight (default 1024). Mutate through
+	// Scheduler.SetShares on a live scheduler.
 	Shares int64
 	// QuotaUS and PeriodUS define the bandwidth limit
 	// (cfs_quota_us / cfs_period_us). QuotaUS < 0 means unlimited.
+	// Mutate through Scheduler.SetQuota on a live scheduler.
 	QuotaUS  int64
 	PeriodUS int64
 	// CpusetN is the number of CPUs in the group's affinity mask;
-	// 0 means "all host CPUs".
+	// 0 means "all host CPUs". Mutate through Scheduler.SetCpuset on a
+	// live scheduler.
 	CpusetN int
 	// Gamma is the oversubscription sensitivity used in the useful-work
 	// discount; see the package comment. Zero means oversubscription is
-	// free (pure fluid model).
+	// free (pure fluid model). Gamma is read live each tick and may be
+	// written directly.
 	Gamma float64
 
 	tasks    []*Task
@@ -106,14 +159,24 @@ type Group struct {
 	// Children() there would make each cgroup event O(siblings).
 	childShares int64
 
-	// accounting
-	usage        units.CPUSeconds // total raw CPU time
-	windowUsage  units.CPUSeconds // since last TakeWindowUsage
-	throttledDur time.Duration    // wall time with the quota cap binding
-	lastRate     float64          // group rate in the most recent tick
-	throttledNow bool             // bandwidth limit binding in the most recent tick
+	sched *Scheduler
+
+	// final freezes the group's accounting when it is removed, so
+	// post-mortem reads (experiment summaries over killed containers)
+	// keep working after the scheduler compacts its hot arrays.
+	final     groupAcct
+	finalRate float64
 
 	removed bool
+}
+
+// acct returns the group's live accounting slot, or the frozen copy
+// after removal.
+func (g *Group) acct() *groupAcct {
+	if g.removed {
+		return &g.final
+	}
+	return &g.sched.gAcct[g.schedIdx]
 }
 
 // Parent returns the enclosing group, or nil for a top-level group.
@@ -132,41 +195,47 @@ func (g *Group) CPULimit() float64 {
 }
 
 // Usage returns the group's total raw CPU consumption.
-func (g *Group) Usage() units.CPUSeconds { return g.usage }
+func (g *Group) Usage() units.CPUSeconds { return g.acct().usage }
 
 // TakeWindowUsage returns the raw CPU time consumed since the previous
 // call and resets the window. sys_namespace reads this once per update
 // period (the u_i term of Algorithm 1).
 func (g *Group) TakeWindowUsage() units.CPUSeconds {
-	u := g.windowUsage
-	g.windowUsage = 0
+	a := g.acct()
+	u := a.windowUsage
+	a.windowUsage = 0
 	return u
 }
 
 // PeekWindowUsage returns the raw CPU time consumed since the last
 // TakeWindowUsage without resetting the window.
-func (g *Group) PeekWindowUsage() units.CPUSeconds { return g.windowUsage }
+func (g *Group) PeekWindowUsage() units.CPUSeconds { return g.acct().windowUsage }
 
 // ThrottledTime returns the cumulative wall time during which the group's
 // bandwidth limit capped its allocation.
-func (g *Group) ThrottledTime() time.Duration { return g.throttledDur }
+func (g *Group) ThrottledTime() time.Duration { return g.acct().throttledDur }
 
 // LastRate returns the CPU rate (in CPUs) the group received in the most
 // recent tick.
-func (g *Group) LastRate() float64 { return g.lastRate }
+func (g *Group) LastRate() float64 {
+	if g.removed {
+		return g.finalRate
+	}
+	return g.sched.gRate[g.schedIdx]
+}
 
 // Throttled reports whether a bandwidth limit (the group's own, or its
 // parent's) capped the group's allocation in the most recent tick.
-func (g *Group) Throttled() bool { return g.throttledNow }
+func (g *Group) Throttled() bool { return g.acct().flags&acctThrottled != 0 }
 
 // RunnableTasks returns the number of currently runnable tasks. The
 // count is maintained on task state changes rather than scanned: the
-// per-tick allocation loop reads it for every group.
+// allocation rebuild reads it for every group.
 func (g *Group) RunnableTasks() int { return g.runnable }
 
 // ChildShares returns Σ Shares over the group's children (0 for a leaf).
 // The aggregate is maintained by the scheduler's SetShares and group
-// lifecycle paths; writing Shares directly leaves it stale.
+// lifecycle paths, not scanned.
 func (g *Group) ChildShares() int64 { return g.childShares }
 
 // Tasks returns the number of tasks (runnable or not) in the group.
@@ -201,10 +270,22 @@ type Scheduler struct {
 	// Group.childShares (see TopShares).
 	topShares int64
 
-	// scratch buffers reused across ticks to avoid per-tick allocation
-	scratchAlloc []float64
-	scratchCap   []float64
-	scratchAct   []int
+	// Struct-of-arrays hot state, parallel to groups (indexed by
+	// schedIdx, compacted in step on RemoveGroup).
+	gCap  []float64 // memoized per-group capacity cap
+	gRate []float64 // memoized water-fill result (= LastRate)
+	gAcct []groupAcct
+
+	// Memoized allocation metadata, valid while allocValid holds.
+	allocValid   bool  // gCap/gRate/active/loadContrib/slackLast current
+	listsValid   bool  // active/throttledIdx hold live schedIdx values
+	active       []int // groups with rate > 0, ascending schedIdx
+	throttledIdx []int // groups flagged throttled, superset, see NextEvent
+	flagsDirty   []int // groups marked acctFlagsDirty since the last tick
+	loadContrib  float64
+
+	// scratch buffers reused across rebuilds to avoid allocation
+	scratchTop   []int
 	scratchChild []int
 }
 
@@ -256,18 +337,134 @@ func (s *Scheduler) Groups() []*Group { return s.groups }
 // group lifecycle paths, not scanned.
 func (s *Scheduler) TopShares() int64 { return s.topShares }
 
+// Invalidate marks the memoized allocation stale, forcing the next Tick
+// to recompute caps and the water fill from current state. Every
+// Scheduler mutator calls it; exported so tests that poke Group
+// configuration fields directly on a live scheduler can stay correct.
+func (s *Scheduler) Invalidate() { s.allocValid = false }
+
 // SetShares writes g's cpu.shares weight while keeping the share
 // aggregates (TopShares, the parent's ChildShares) consistent. All
-// share changes on a hierarchy-managed group must go through here (the
-// cgroups layer does); writing the field directly is reserved for
-// self-contained scheduler tests.
+// share changes on a live group must go through here (the cgroups layer
+// does).
 func (s *Scheduler) SetShares(g *Group, shares int64) {
 	delta := shares - g.Shares
+	if delta == 0 {
+		return
+	}
 	g.Shares = shares
 	if g.parent != nil {
 		g.parent.childShares += delta
 	} else {
 		s.topShares += delta
+	}
+	// Shares only weight the water fills a group with a positive cap
+	// participates in; reweighting a capless group cannot move any
+	// allocation.
+	if !s.allocValid || !g.removed && s.gCap[g.schedIdx] > 0 {
+		s.allocValid = false
+	}
+}
+
+// SetQuota writes g's bandwidth limit (cfs_quota_us / cfs_period_us).
+// quotaUS < 0 means unlimited. All quota changes on a live group must go
+// through here (the cgroups layer does).
+//
+// Quota churn is the dominant event stream at scale, so the write is
+// classified before it invalidates the allocation memo: a change that
+// provably leaves the group's cap — and therefore every group's rate —
+// unchanged either costs nothing (both old and new limits sit above the
+// cap) or only marks the subtree acctFlagsDirty so the next tick
+// re-evaluates its throttle state in O(subtree) instead of rebuilding
+// the water fill in O(groups).
+func (s *Scheduler) SetQuota(g *Group, quotaUS, periodUS int64) {
+	if !s.allocValid || g.removed {
+		g.QuotaUS, g.PeriodUS = quotaUS, periodUS
+		s.allocValid = false
+		return
+	}
+	limOld := g.CPULimit()
+	g.QuotaUS, g.PeriodUS = quotaUS, periodUS
+	limNew := g.CPULimit()
+	if limNew == limOld {
+		// Pure period change: NextEvent reads PeriodUS live, nothing
+		// else consumes the raw values.
+		return
+	}
+	capOld := s.gCap[g.schedIdx]
+	if limOld > capOld+1e-9 && limNew > capOld+1e-9 {
+		// Neither limit binds (rate <= cap < lim-1e-9 throughout):
+		// cap, rates, and throttle state are all unchanged.
+		return
+	}
+	if s.capOf(g) == capOld {
+		// Same cap, so the water fill result is unchanged; only the
+		// throttle flags can move (e.g. quota lowered onto the rate).
+		s.markFlagsDirty(g)
+		for _, c := range g.children {
+			s.markFlagsDirty(c)
+		}
+		return
+	}
+	s.allocValid = false
+}
+
+// SetCpuset writes the size of g's CPU affinity mask; 0 means "all host
+// CPUs". All cpuset changes on a live group must go through here (the
+// cgroups layer does).
+func (s *Scheduler) SetCpuset(g *Group, n int) {
+	if !s.allocValid || g.removed {
+		g.CpusetN = n
+		s.allocValid = false
+		return
+	}
+	capOld := s.gCap[g.schedIdx]
+	g.CpusetN = n
+	// The mask size feeds only the cap; an unchanged cap means an
+	// unchanged allocation and unchanged throttle state.
+	if s.capOf(g) != capOld {
+		s.allocValid = false
+	}
+}
+
+// capOf recomputes a group's per-tick capacity cap from live state with
+// the exact operation sequence the rebuild uses, so results compare
+// bitwise against gCap.
+func (s *Scheduler) capOf(g *Group) float64 {
+	if len(g.children) > 0 {
+		var sum float64
+		for _, c := range g.children {
+			sum += s.gCap[c.schedIdx]
+		}
+		if g.CpusetN > 0 && float64(g.CpusetN) < sum {
+			sum = float64(g.CpusetN)
+		}
+		if lim := g.CPULimit(); lim < sum {
+			sum = lim
+		}
+		return sum
+	}
+	nr := g.runnable
+	if nr == 0 {
+		return 0
+	}
+	c := float64(nr)
+	if g.CpusetN > 0 && float64(g.CpusetN) < c {
+		c = float64(g.CpusetN)
+	}
+	if lim := g.CPULimit(); lim < c {
+		c = lim
+	}
+	return c
+}
+
+// markFlagsDirty queues a group for throttle-state re-evaluation on the
+// next tick.
+func (s *Scheduler) markFlagsDirty(g *Group) {
+	a := &s.gAcct[g.schedIdx]
+	if a.flags&acctFlagsDirty == 0 {
+		a.flags |= acctFlagsDirty
+		s.flagsDirty = append(s.flagsDirty, g.schedIdx)
 	}
 }
 
@@ -279,10 +476,13 @@ func (s *Scheduler) NewGroup(name string) *Group {
 		Shares:   DefaultShares,
 		QuotaUS:  -1,
 		PeriodUS: 100_000,
+		sched:    s,
 	}
 	g.schedIdx = len(s.groups)
 	s.groups = append(s.groups, g)
+	s.growHot()
 	s.topShares += g.Shares
+	s.allocValid = false
 	return g
 }
 
@@ -305,20 +505,33 @@ func (s *Scheduler) NewChildGroup(parent *Group, name string) *Group {
 		QuotaUS:  -1,
 		PeriodUS: 100_000,
 		parent:   parent,
+		sched:    s,
 	}
 	g.schedIdx = len(s.groups)
 	parent.children = append(parent.children, g)
 	parent.childShares += g.Shares
 	s.groups = append(s.groups, g)
+	s.growHot()
+	s.allocValid = false
 	return g
 }
 
+// growHot appends one zeroed slot to each hot array, keeping them
+// parallel to groups.
+func (s *Scheduler) growHot() {
+	s.gCap = append(s.gCap, 0)
+	s.gRate = append(s.gRate, 0)
+	s.gAcct = append(s.gAcct, groupAcct{})
+}
+
 // RemoveGroup unregisters a group, its tasks, and (for a parent) its
-// children.
+// children. The group's accounting is frozen for post-mortem reads.
 func (s *Scheduler) RemoveGroup(g *Group) {
 	for _, c := range append([]*Group(nil), g.children...) {
 		s.RemoveGroup(c)
 	}
+	g.final = s.gAcct[g.schedIdx]
+	g.finalRate = s.gRate[g.schedIdx]
 	g.removed = true
 	for _, t := range g.tasks {
 		t.removed = true
@@ -340,15 +553,16 @@ func (s *Scheduler) RemoveGroup(g *Group) {
 	} else {
 		s.topShares -= g.Shares
 	}
-	for i, x := range s.groups {
-		if x == g {
-			s.groups = append(s.groups[:i], s.groups[i+1:]...)
-			for j := i; j < len(s.groups); j++ {
-				s.groups[j].schedIdx = j
-			}
-			break
-		}
+	i := g.schedIdx
+	s.groups = append(s.groups[:i], s.groups[i+1:]...)
+	s.gCap = append(s.gCap[:i], s.gCap[i+1:]...)
+	s.gRate = append(s.gRate[:i], s.gRate[i+1:]...)
+	s.gAcct = append(s.gAcct[:i], s.gAcct[i+1:]...)
+	for j := i; j < len(s.groups); j++ {
+		s.groups[j].schedIdx = j
 	}
+	s.allocValid = false
+	s.listsValid = false
 }
 
 // NewTask creates a task in group g. Tasks start blocked; call SetRunnable.
@@ -371,6 +585,7 @@ func (s *Scheduler) RemoveTask(t *Task) {
 	if t.runnable {
 		s.runnableNow--
 		t.group.runnable--
+		s.allocValid = false
 	}
 	t.runnable = false
 	g := t.group
@@ -398,6 +613,7 @@ func (s *Scheduler) SetRunnable(t *Task, runnable bool) {
 		s.runnableNow--
 		t.group.runnable--
 	}
+	s.allocValid = false
 }
 
 // RunnableNow returns the live count of runnable tasks — unlike
@@ -458,22 +674,167 @@ func waterfill(groups []*Group, caps, alloc []float64, active []int, capacity fl
 
 // Tick advances the scheduler by dt: allocates CPU, advances task work,
 // and updates accounting and the load average. It is called once per
-// simulation tick by the host.
+// simulation tick by the host. When no allocation input changed since
+// the previous tick the memoized rates are replayed over the active
+// groups only; otherwise the full recompute runs, with results
+// bit-identical to recomputing every tick.
 func (s *Scheduler) Tick(now sim.Time, dt time.Duration) {
 	s.ticks++
 	s.Trace.Add(telemetry.CtrSchedTicks, 1)
 	dtSec := dt.Seconds()
 
-	n := len(s.groups)
-	if cap(s.scratchAlloc) < n {
-		s.scratchAlloc = make([]float64, n)
-		s.scratchCap = make([]float64, n)
-		s.scratchAct = make([]int, 0, n)
-		s.scratchChild = make([]int, 0, n)
+	if s.allocValid {
+		s.fastTick(now, dt, dtSec)
+	} else {
+		s.rebuildTick(now, dt, dtSec)
 	}
-	alloc := s.scratchAlloc[:n]
-	caps := s.scratchCap[:n]
-	active := s.scratchAct[:0]
+
+	s.slackWindow += units.CPUSeconds(s.slackLast * dtSec)
+
+	// Load average: first-order low-pass filter over the enqueued task
+	// count (throttled groups contribute only their bandwidth).
+	if s.LoadAvgTau > 0 {
+		a := dtSec / s.LoadAvgTau.Seconds()
+		if a > 1 {
+			a = 1
+		}
+		s.loadAvg += (s.loadContrib - s.loadAvg) * a
+	}
+}
+
+// fastTick replays the memoized allocation: accounting advances for the
+// active groups and their runnable tasks, nothing else can have changed.
+func (s *Scheduler) fastTick(now sim.Time, dt time.Duration, dtSec float64) {
+	groups := s.groups
+	contribDirty := false
+	for _, i := range s.active {
+		g := groups[i]
+		a := &s.gAcct[i]
+		rate := s.gRate[i]
+		raw := units.CPUSeconds(rate * dtSec)
+		a.usage += raw
+		a.windowUsage += raw
+		if a.flags&acctFlagsDirty != 0 {
+			if s.refreshThrottle(now, i, g, rate, dt) {
+				contribDirty = true
+			}
+		} else if a.flags&acctDurBinding != 0 {
+			a.throttledDur += dt
+		}
+		if a.perTask == 0 {
+			// Parent group, or a leaf with no runnable tasks.
+			continue
+		}
+		perTask, over := a.perTask, a.over
+		// Snapshot: OnTick may append tasks for future ticks.
+		tasks := g.tasks
+		for _, t := range tasks {
+			if !t.runnable {
+				continue
+			}
+			t.LastRate = perTask
+			rawT := units.CPUSeconds(perTask * dtSec)
+			t.Usage += rawT
+			if t.OnTick != nil {
+				eff := 1.0
+				if over > 0 {
+					gamma := g.Gamma
+					if t.Gamma > 0 {
+						gamma = t.Gamma
+					}
+					if gamma > 0 {
+						eff = 1 / (1 + gamma*over)
+					}
+				}
+				t.OnTick(now, units.CPUSeconds(float64(rawT)*eff), rawT)
+			}
+		}
+	}
+	if len(s.flagsDirty) > 0 {
+		for _, i := range s.flagsDirty {
+			s.gAcct[i].flags &^= acctFlagsDirty
+		}
+		s.flagsDirty = s.flagsDirty[:0]
+	}
+	if contribDirty {
+		// A throttle flag moved on a leaf: re-derive the load
+		// contribution as the same ascending ordered sum the rebuild
+		// computes, so the filter input stays bit-identical.
+		contrib := 0.0
+		for _, i := range s.active {
+			g := groups[i]
+			if len(g.children) > 0 {
+				continue
+			}
+			rate := s.gRate[i]
+			nr := g.runnable
+			if s.gAcct[i].flags&acctThrottled != 0 && float64(nr) > rate {
+				contrib += rate
+			} else {
+				contrib += float64(nr)
+			}
+		}
+		s.loadContrib = contrib
+	}
+}
+
+// refreshThrottle re-evaluates an active group's throttle state after a
+// cap-preserving limit change, with the exact conditions and event
+// emission the rebuild applies, including this tick's throttledDur
+// accrual. It reports whether a leaf's throttle flag moved (which
+// changes the group's load-average contribution).
+func (s *Scheduler) refreshThrottle(now sim.Time, i int, g *Group, rate float64, dt time.Duration) bool {
+	a := &s.gAcct[i]
+	if len(g.children) > 0 {
+		thr := false
+		if lim := g.CPULimit(); !math.IsInf(lim, 1) && rate >= lim-1e-9 {
+			a.throttledDur += dt
+			thr = true
+		}
+		a.setFlag(acctDurBinding, thr)
+		s.noteThrottleTracked(now, i, g, thr, rate)
+		return false
+	}
+	throttled := false
+	binding := false
+	if lim := g.CPULimit(); !math.IsInf(lim, 1) && rate >= lim-1e-9 {
+		a.throttledDur += dt
+		throttled = true
+		binding = true
+	}
+	a.setFlag(acctDurBinding, binding)
+	if !throttled && g.parent != nil {
+		if plim := g.parent.CPULimit(); !math.IsInf(plim, 1) && s.gRate[g.parent.schedIdx] >= plim-1e-9 {
+			throttled = true
+		}
+	}
+	was := a.flags&acctThrottled != 0
+	s.noteThrottleTracked(now, i, g, throttled, rate)
+	return was != throttled
+}
+
+// noteThrottleTracked is noteThrottle plus throttled-list maintenance
+// for transitions that happen outside a full rebuild: a group entering
+// the throttled state must become visible to NextEvent's fast path. The
+// list stays a superset of the throttled groups; NextEvent re-checks the
+// flag.
+func (s *Scheduler) noteThrottleTracked(now sim.Time, i int, g *Group, throttled bool, rate float64) {
+	was := s.gAcct[i].flags&acctThrottled != 0
+	s.noteThrottle(now, i, g, throttled, rate)
+	if throttled && !was && s.listsValid {
+		s.throttledIdx = append(s.throttledIdx, i)
+	}
+}
+
+// rebuildTick recomputes caps and the water fill from current state,
+// performs this tick's accounting in the same per-group order a
+// non-memoizing tick would, and refreshes the memo: active list,
+// throttled list, per-leaf task-rate derivatives, load contribution and
+// slack.
+func (s *Scheduler) rebuildTick(now sim.Time, dt time.Duration, dtSec float64) {
+	n := len(s.groups)
+	alloc := s.gRate[:n]
+	caps := s.gCap[:n]
 
 	totalRunnable := 0
 	for i, g := range s.groups {
@@ -515,12 +876,17 @@ func (s *Scheduler) Tick(now sim.Time, dt time.Duration) {
 	}
 
 	// Top-level water fill over parents and parentless groups.
+	if cap(s.scratchTop) < n {
+		s.scratchTop = make([]int, 0, n)
+		s.scratchChild = make([]int, 0, n)
+	}
+	top := s.scratchTop[:0]
 	for i, g := range s.groups {
 		if g.parent == nil && caps[i] > 0 {
-			active = append(active, i)
+			top = append(top, i)
 		}
 	}
-	waterfill(s.groups, caps, alloc, active, float64(s.ncpu))
+	waterfill(s.groups, caps, alloc, top, float64(s.ncpu))
 
 	// Second level: each parent's grant is filled among its children.
 	for i, g := range s.groups {
@@ -536,46 +902,66 @@ func (s *Scheduler) Tick(now sim.Time, dt time.Duration) {
 		waterfill(s.groups, caps, alloc, childActive, alloc[i])
 	}
 
+	s.active = s.active[:0]
+	s.throttledIdx = s.throttledIdx[:0]
 	var used float64
 	loadContribution := 0.0
 	for i, g := range s.groups {
 		rate := alloc[i]
-		g.lastRate = rate
+		a := &s.gAcct[i]
+		a.perTask, a.over = 0, 0
+		a.flags &^= acctFlagsDirty
 		if len(g.children) > 0 {
 			// Parent accounting only; its children execute the tasks.
 			thr := false
 			if rate > 0 {
 				raw := units.CPUSeconds(rate * dtSec)
-				g.usage += raw
-				g.windowUsage += raw
+				a.usage += raw
+				a.windowUsage += raw
 				if lim := g.CPULimit(); !math.IsInf(lim, 1) && rate >= lim-1e-9 {
-					g.throttledDur += dt
+					a.throttledDur += dt
 					thr = true
 				}
+				s.active = append(s.active, i)
 			}
-			s.noteThrottle(now, g, thr, rate)
+			a.setFlag(acctDurBinding, thr)
+			s.noteThrottle(now, i, g, thr, rate)
+			if a.flags&acctThrottled != 0 {
+				s.throttledIdx = append(s.throttledIdx, i)
+			}
 			continue
 		}
 		if rate <= 0 {
-			s.noteThrottle(now, g, false, 0)
+			a.setFlag(acctDurBinding, false)
+			s.noteThrottle(now, i, g, false, 0)
+			if a.flags&acctThrottled != 0 {
+				s.throttledIdx = append(s.throttledIdx, i)
+			}
 			continue
 		}
+		s.active = append(s.active, i)
 		used += rate
 		raw := units.CPUSeconds(rate * dtSec)
-		g.usage += raw
-		g.windowUsage += raw
+		a.usage += raw
+		a.windowUsage += raw
 		nr := g.RunnableTasks()
 		throttled := false
+		binding := false
 		if lim := g.CPULimit(); !math.IsInf(lim, 1) && rate >= lim-1e-9 {
-			g.throttledDur += dt
+			a.throttledDur += dt
 			throttled = true
+			binding = true
 		}
+		a.setFlag(acctDurBinding, binding)
 		if !throttled && g.parent != nil {
 			if plim := g.parent.CPULimit(); !math.IsInf(plim, 1) && alloc[g.parent.schedIdx] >= plim-1e-9 {
 				throttled = true
 			}
 		}
-		s.noteThrottle(now, g, throttled, rate)
+		s.noteThrottle(now, i, g, throttled, rate)
+		if a.flags&acctThrottled != 0 {
+			s.throttledIdx = append(s.throttledIdx, i)
+		}
 		// Linux dequeues a bandwidth-throttled group for the rest of
 		// its period, so its excess tasks do not appear in the load
 		// average: a 20-thread container pinned to a 4-CPU quota
@@ -593,6 +979,7 @@ func (s *Scheduler) Tick(now sim.Time, dt time.Duration) {
 		if over < 0 {
 			over = 0
 		}
+		a.perTask, a.over = perTask, over
 		// Snapshot: OnTick may mutate runnable state for future ticks.
 		tasks := g.tasks
 		for _, t := range tasks {
@@ -617,6 +1004,7 @@ func (s *Scheduler) Tick(now sim.Time, dt time.Duration) {
 			}
 		}
 	}
+	s.loadContrib = loadContribution
 
 	slack := float64(s.ncpu) - used
 	// Clamp floating-point residue from the water-fill: a 1e-15-CPU
@@ -625,26 +1013,28 @@ func (s *Scheduler) Tick(now sim.Time, dt time.Duration) {
 		slack = 0
 	}
 	s.slackLast = slack
-	s.slackWindow += units.CPUSeconds(slack * dtSec)
 
-	// Load average: first-order low-pass filter over the enqueued task
-	// count (throttled groups contribute only their bandwidth).
-	if s.LoadAvgTau > 0 {
-		a := dtSec / s.LoadAvgTau.Seconds()
-		if a > 1 {
-			a = 1
-		}
-		s.loadAvg += (loadContribution - s.loadAvg) * a
+	s.flagsDirty = s.flagsDirty[:0]
+	s.allocValid = true
+	s.listsValid = true
+}
+
+func (a *groupAcct) setFlag(bit uint8, on bool) {
+	if on {
+		a.flags |= bit
+	} else {
+		a.flags &^= bit
 	}
 }
 
 // noteThrottle updates a group's throttled flag for this tick and emits
 // a transition event when tracing is on.
-func (s *Scheduler) noteThrottle(now sim.Time, g *Group, throttled bool, rate float64) {
-	if g.throttledNow == throttled {
+func (s *Scheduler) noteThrottle(now sim.Time, i int, g *Group, throttled bool, rate float64) {
+	a := &s.gAcct[i]
+	if a.flags&acctThrottled != 0 == throttled {
 		return
 	}
-	g.throttledNow = throttled
+	a.setFlag(acctThrottled, throttled)
 	if s.Trace.Enabled() {
 		s.emitThrottle(now, g, throttled, rate)
 	}
@@ -676,10 +1066,11 @@ func (s *Scheduler) SkipIdle(now sim.Time, dt time.Duration, n int) {
 	}
 	s.ticks += uint64(n)
 	s.totalRunnable = 0
-	for _, g := range s.groups {
-		g.lastRate = 0
-		s.noteThrottle(now, g, false, 0)
+	for i, g := range s.groups {
+		s.gRate[i] = 0
+		s.noteThrottle(now, i, g, false, 0)
 	}
+	s.allocValid = false
 	dtSec := dt.Seconds()
 	slack := float64(s.ncpu)
 	s.slackLast = slack
@@ -708,8 +1099,22 @@ func (s *Scheduler) SkipIdle(now sim.Time, dt time.Duration, n int) {
 func (s *Scheduler) NextEvent(now sim.Time) (sim.Time, bool) {
 	var best sim.Time
 	have := false
-	for _, g := range s.groups {
-		if !g.throttledNow || g.PeriodUS <= 0 {
+	if s.listsValid {
+		for _, i := range s.throttledIdx {
+			g := s.groups[i]
+			if s.gAcct[i].flags&acctThrottled == 0 || g.PeriodUS <= 0 {
+				continue
+			}
+			period := time.Duration(g.PeriodUS) * time.Microsecond
+			next := now - now%period + period
+			if !have || next < best {
+				best, have = next, true
+			}
+		}
+		return best, have
+	}
+	for i, g := range s.groups {
+		if s.gAcct[i].flags&acctThrottled == 0 || g.PeriodUS <= 0 {
 			continue
 		}
 		period := time.Duration(g.PeriodUS) * time.Microsecond

@@ -1,0 +1,154 @@
+package cgroups
+
+import (
+	"testing"
+
+	"arv/internal/cfs"
+	"arv/internal/memctl"
+	"arv/internal/units"
+)
+
+func newShardedHier(t *testing.T, shards int) *Hierarchy {
+	t.Helper()
+	sched := cfs.NewScheduler(8)
+	mem := memctl.New(memctl.Config{Total: 16 * units.GiB})
+	h := NewHierarchy(sched, mem)
+	h.SetShardedDispatch(shards)
+	return h
+}
+
+// TestShardedDispatchDefersAndDrains pins the deferral semantics: under
+// sharded dispatch no subscriber sees an event until Drain, Queued
+// counts the backlog exactly, and one Drain delivers everything.
+func TestShardedDispatchDefersAndDrains(t *testing.T) {
+	h := newShardedHier(t, 4)
+	var got []Event
+	h.Subscribe(func(e Event) { got = append(got, e) })
+
+	a := h.Create("a")
+	b := h.Create("b")
+	a.SetShares(2048)
+	b.SetQuota(200_000, 100_000)
+	h.Remove(b)
+
+	if len(got) != 0 {
+		t.Fatalf("sharded dispatch delivered %d events before Drain", len(got))
+	}
+	if q := h.Queued(); q != 5 {
+		t.Fatalf("Queued() = %d before drain, want 5", q)
+	}
+	h.Drain()
+	if q := h.Queued(); q != 0 {
+		t.Fatalf("Queued() = %d after drain, want 0", q)
+	}
+	if len(got) != 5 {
+		t.Fatalf("drain delivered %d events, want 5", len(got))
+	}
+	// Per-cgroup FIFO: each cgroup's events arrive in publication order,
+	// whatever the shard interleaving did to the global order.
+	var aKinds, bKinds []EventKind
+	for _, e := range got {
+		switch e.Cgroup {
+		case a:
+			aKinds = append(aKinds, e.Kind)
+		case b:
+			bKinds = append(bKinds, e.Kind)
+		}
+	}
+	wantA := []EventKind{Created, CPUChanged}
+	wantB := []EventKind{Created, CPUChanged, Removed}
+	for i, k := range wantA {
+		if i >= len(aKinds) || aKinds[i] != k {
+			t.Fatalf("cgroup a event order = %v, want %v", aKinds, wantA)
+		}
+	}
+	for i, k := range wantB {
+		if i >= len(bKinds) || bKinds[i] != k {
+			t.Fatalf("cgroup b event order = %v, want %v", bKinds, wantB)
+		}
+	}
+}
+
+// TestShardedDispatchDrainReentrancy drives a subscriber that publishes
+// further events while a drain is running: the same Drain must deliver
+// the follow-on events (the loop repeats until no shard holds a
+// backlog), and a nested Drain call from inside a subscriber must be a
+// guarded no-op rather than a reordering or an infinite loop.
+func TestShardedDispatchDrainReentrancy(t *testing.T) {
+	h := newShardedHier(t, 2)
+	cg := h.Create("c")
+	var kinds []EventKind
+	reacted := false
+	h.Subscribe(func(e Event) {
+		kinds = append(kinds, e.Kind)
+		if e.Kind == CPUChanged && !reacted {
+			reacted = true
+			cg.SetMemLimits(2*units.GiB, units.GiB) // enqueues during drain
+			h.Drain()                               // re-entrant: must no-op
+		}
+	})
+
+	cg.SetShares(512)
+	h.Drain()
+	want := []EventKind{Created, CPUChanged, MemChanged}
+	if len(kinds) != len(want) {
+		t.Fatalf("drain delivered kinds %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("drain delivered kinds %v, want %v", kinds, want)
+		}
+	}
+	if h.Queued() != 0 {
+		t.Fatalf("Queued() = %d after re-entrant drain, want 0", h.Queued())
+	}
+}
+
+// TestShardedDispatchModeSwitch verifies SetShardedDispatch drains any
+// backlog before changing mode, in both directions, so no event is lost
+// across a reconfiguration.
+func TestShardedDispatchModeSwitch(t *testing.T) {
+	h := newShardedHier(t, 2)
+	var got int
+	h.Subscribe(func(Event) { got++ })
+
+	h.Create("x")
+	if got != 0 || h.Queued() != 1 {
+		t.Fatalf("pre-switch: delivered %d, queued %d; want 0 queued 1", got, h.Queued())
+	}
+	h.SetShardedDispatch(0) // back to synchronous: must drain first
+	if got != 1 || h.Queued() != 0 {
+		t.Fatalf("post-switch: delivered %d, queued %d; want 1 queued 0", got, h.Queued())
+	}
+	h.Create("y") // synchronous again
+	if got != 2 {
+		t.Fatalf("synchronous create delivered %d events total, want 2", got)
+	}
+}
+
+// TestShardedDispatchInterceptorSynchronous pins the fault-layer
+// contract: the interceptor is consulted at publication time, before
+// any queueing, so a drop decision suppresses the event entirely and
+// Suppressed moves immediately — sharding defers delivery, never the
+// fault decision.
+func TestShardedDispatchInterceptorSynchronous(t *testing.T) {
+	h := newShardedHier(t, 2)
+	cg := h.Create("c")
+	h.Drain()
+	var delivered int
+	h.Subscribe(func(Event) { delivered++ })
+
+	h.Intercept(func(Event) bool { return false })
+	cg.SetShares(256)
+	if h.Suppressed() != 1 {
+		t.Fatalf("Suppressed() = %d after intercepted publish, want 1", h.Suppressed())
+	}
+	if h.Queued() != 0 {
+		t.Fatalf("Queued() = %d: a suppressed event was queued anyway", h.Queued())
+	}
+	h.Intercept(nil)
+	h.Drain()
+	if delivered != 0 {
+		t.Fatalf("drain delivered %d events, want 0 (the only publish was suppressed)", delivered)
+	}
+}

@@ -21,11 +21,21 @@ import (
 // schedules — any divergence in view state is the incremental cache's
 // fault.
 func buildDifferentialHost(disableIncremental bool) *host.Host {
+	return buildDifferentialHostOpts(sysns.Options{DisableIncremental: disableIncremental}, 0)
+}
+
+// buildDifferentialHostOpts is the generalized constructor: nsOpts picks
+// the monitor path (eager incremental, full recompute, or batched), and
+// eventShards > 0 additionally routes cgroup events through sharded
+// deferred dispatch — the full scale configuration the batched
+// differential arm exercises.
+func buildDifferentialHostOpts(nsOpts sysns.Options, eventShards int) *host.Host {
 	h := host.New(host.Config{
-		CPUs:      8,
-		Memory:    16 * units.GiB,
-		Seed:      11,
-		NSOptions: sysns.Options{DisableIncremental: disableIncremental},
+		CPUs:        8,
+		Memory:      16 * units.GiB,
+		Seed:        11,
+		NSOptions:   nsOpts,
+		EventShards: eventShards,
 	})
 	inj := Attach(h, Config{
 		Seed:             5,
@@ -114,6 +124,63 @@ func TestIncrementalMatchesFullUnderFaults(t *testing.T) {
 			}
 			if ma, mb := a.NS.EffectiveMemory(), b.NS.EffectiveMemory(); ma != mb {
 				t.Fatalf("sample %d: %s E_MEM diverged: incremental %d, full %d", step, a.Name, ma, mb)
+			}
+		}
+	}
+}
+
+// TestBatchedMatchesFullUnderFaults is the batched-mode differential
+// arm: the same mirrored-host construction, but the candidate runs the
+// full scale configuration — BatchedRecompute plus sharded event
+// dispatch — against the full-recompute reference. The fleet is flat
+// (no pods), so the batched flush-boundary contract ("bounds reflect
+// live hierarchy state") coincides with the eager trigger-time one, and
+// CPU bounds must match the reference exactly at every sample, across
+// dropped events (the suppression-recovery FullRecompute runs at drain
+// time), delayed redeliveries (which bypass the shard queues), lagged
+// and missed update rounds, and the kill-restart. Effective memory
+// never reads bounds, so it must match exactly too. Effective CPU is
+// only pinned inside the bounds: the clamp is stateful, and coalescing
+// the intermediate bounds states it would have clamped through is
+// precisely what batching does (see sysns.Options.BatchedRecompute).
+func TestBatchedMatchesFullUnderFaults(t *testing.T) {
+	hA := buildDifferentialHostOpts(sysns.Options{BatchedRecompute: true}, 4)
+	hB := buildDifferentialHostOpts(sysns.Options{DisableIncremental: true}, 0)
+
+	for step := 0; step < 40; step++ {
+		hA.Run(25 * time.Millisecond)
+		hB.Run(25 * time.Millisecond)
+
+		ctrsA, ctrsB := hA.Runtime.Containers(), hB.Runtime.Containers()
+		if len(ctrsA) != len(ctrsB) {
+			t.Fatalf("sample %d: container counts diverged: %d vs %d", step, len(ctrsA), len(ctrsB))
+		}
+		byName := make(map[string]*container.Container, len(ctrsB))
+		for _, c := range ctrsB {
+			byName[c.Name] = c
+		}
+		for _, a := range ctrsA {
+			b := byName[a.Name]
+			if b == nil {
+				t.Fatalf("sample %d: %s live on batched host only", step, a.Name)
+			}
+			if (a.NS == nil) != (b.NS == nil) {
+				t.Fatalf("sample %d: %s namespace presence diverged", step, a.Name)
+			}
+			if a.NS == nil {
+				continue
+			}
+			al, au := a.NS.CPUBounds() // flush boundary on the batched host
+			bl, bu := b.NS.CPUBounds()
+			if al != bl || au != bu {
+				t.Fatalf("sample %d: %s bounds diverged: batched [%d,%d], full [%d,%d]",
+					step, a.Name, al, au, bl, bu)
+			}
+			if e := a.NS.EffectiveCPU(); e < al || e > au {
+				t.Fatalf("sample %d: %s batched E_CPU %d outside bounds [%d,%d]", step, a.Name, e, al, au)
+			}
+			if ma, mb := a.NS.EffectiveMemory(), b.NS.EffectiveMemory(); ma != mb {
+				t.Fatalf("sample %d: %s E_MEM diverged: batched %d, full %d", step, a.Name, ma, mb)
 			}
 		}
 	}

@@ -21,6 +21,7 @@ import (
 	"arv/internal/container"
 	"arv/internal/faults"
 	"arv/internal/host"
+	"arv/internal/sysns"
 	"arv/internal/telemetry"
 	"arv/internal/units"
 )
@@ -55,13 +56,22 @@ type Config struct {
 	Warmup time.Duration
 	// Seed drives the host RNG and the churn schedule.
 	Seed uint64
+	// Batched enables the monitor's coalesced bounds-recompute mode
+	// (sysns.Options.BatchedRecompute): a churn interval's worth of
+	// dirty marks becomes one recompute pass per update round. Defaults
+	// on — it is the mode the BENCH_scale.json trajectory measures; set
+	// it false (with Defaults, clear it after) to A/B the eager path.
+	Batched bool
+	// Shards sizes sharded cgroup event dispatch (0 = synchronous
+	// delivery). Defaults to 8 via Defaults.
+	Shards int
 }
 
 // Defaults returns the canonical scale configuration for n containers
 // with churn on, as reported in BENCH_scale.json. All duration and size
 // fields are resolved, so callers can read Span/Warmup directly.
 func Defaults(n int) Config {
-	return Config{Containers: n, Churn: true}.withDefaults()
+	return Config{Containers: n, Churn: true, Batched: true, Shards: 8}.withDefaults()
 }
 
 // withDefaults resolves zero fields.
@@ -104,7 +114,13 @@ type Bench struct {
 // schedule.
 func Build(cfg Config) *Bench {
 	cfg = cfg.withDefaults()
-	h := host.New(host.Config{CPUs: cfg.CPUs, Memory: cfg.Memory, Seed: cfg.Seed})
+	h := host.New(host.Config{
+		CPUs:        cfg.CPUs,
+		Memory:      cfg.Memory,
+		Seed:        cfg.Seed,
+		NSOptions:   sysns.Options{BatchedRecompute: cfg.Batched},
+		EventShards: cfg.Shards,
+	})
 	// Pin the view-update interval at the paper's 24ms base period: with
 	// hundreds of runnable tasks the CFS scheduling period scales to
 	// 3ms x ntasks, which would dilute the very pipeline the benchmark

@@ -13,16 +13,18 @@ import (
 	"arv/internal/units"
 )
 
-// mirror is a pair of monitors over one hierarchy: mA on the incremental
-// dirty-subtree path, mB pinned to the historical full-recompute path.
-// Every cgroup is attached to both or neither, so after any hierarchy
-// operation the two must agree on every namespace's bounds.
+// mirror is a trio of monitors over one hierarchy: mA on the incremental
+// dirty-subtree path, mB pinned to the historical full-recompute path,
+// mC on the batched deferred-recompute path. Every cgroup is attached to
+// all three or none, so after any hierarchy operation (and, for mC, a
+// flush) they must agree on every namespace's bounds.
 type mirror struct {
 	clock *sim.Clock
 	sched *cfs.Scheduler
 	hier  *cgroups.Hierarchy
 	mA    *Monitor
 	mB    *Monitor
+	mC    *Monitor
 }
 
 func newMirror(cpus int) *mirror {
@@ -36,19 +38,35 @@ func newMirror(cpus int) *mirror {
 		hier:  hier,
 		mA:    NewMonitor(hier, clock, Options{}),
 		mB:    NewMonitor(hier, clock, Options{DisableIncremental: true}),
+		mC:    NewMonitor(hier, clock, Options{BatchedRecompute: true}),
 	}
 }
 
-func (m *mirror) attach(cg *cgroups.Cgroup) { m.mA.Attach(cg); m.mB.Attach(cg) }
-func (m *mirror) detach(cg *cgroups.Cgroup) { m.mA.Detach(cg); m.mB.Detach(cg) }
+func (m *mirror) attach(cg *cgroups.Cgroup) { m.mA.Attach(cg); m.mB.Attach(cg); m.mC.Attach(cg) }
+func (m *mirror) detach(cg *cgroups.Cgroup) { m.mA.Detach(cg); m.mB.Detach(cg); m.mC.Detach(cg) }
 
 // check asserts (1) the incremental monitor agrees with the legacy one
-// on every namespace, and (2) the incremental cache matches a fresh
-// derivation from the live hierarchy.
+// on every namespace, (2) the incremental and batched caches match a
+// fresh derivation from the live hierarchy, and (3) the batched
+// monitor's flushed bounds are a fixed point of FullRecompute — nothing
+// a deferred mark carried was lost — with E_CPU inside them.
+//
+// The batched monitor is deliberately NOT compared against the eager
+// pair's bounds: the eager contract preserves the historical walk's
+// trigger-time inputs (a pod member created without attaching dilutes
+// its siblings only at the next recompute trigger, via pendingTops),
+// while a batched flush recomputes from live state and may absorb such
+// a dilution earlier. For flat fleets the two coincide — the
+// faults-package differential test asserts exactly that at host level —
+// but under pod schedules the batched contract is "live state at every
+// flush boundary", which the FullRecompute fixed point pins down.
+// E_CPU equality is likewise not part of the batched contract (the
+// clamp is stateful, so deferral is observable; see
+// Options.BatchedRecompute).
 func (m *mirror) check(t *testing.T, step int, op string) {
 	t.Helper()
-	if la, lb := len(m.mA.order), len(m.mB.order); la != lb {
-		t.Fatalf("step %d (%s): namespace counts diverged: %d vs %d", step, op, la, lb)
+	if la, lb, lc := len(m.mA.order), len(m.mB.order), len(m.mC.order); la != lb || la != lc {
+		t.Fatalf("step %d (%s): namespace counts diverged: %d vs %d vs %d", step, op, la, lb, lc)
 	}
 	for _, nsA := range m.mA.order {
 		nsB := m.mB.Lookup(nsA.cg)
@@ -61,9 +79,14 @@ func (m *mirror) check(t *testing.T, step int, op string) {
 			t.Fatalf("step %d (%s): %s bounds diverged: incremental [%d,%d] e=%d, full [%d,%d] e=%d",
 				step, op, nsA.cg.Name, al, au, nsA.EffectiveCPU(), bl, bu, nsB.EffectiveCPU())
 		}
+		if m.mC.Lookup(nsA.cg) == nil {
+			t.Fatalf("step %d (%s): %s missing on batched monitor", step, op, nsA.cg.Name)
+		}
 	}
 
-	// Cache invariants, derived the way FullRecompute would.
+	// Cache invariants, derived the way FullRecompute would. The batched
+	// monitor maintains the same cache with eager per-event deltas, so it
+	// is held to the identical invariant.
 	var totalTop int64
 	refs := make(map[*cgroups.Cgroup]int)
 	for _, ns := range m.mA.order {
@@ -73,17 +96,49 @@ func (m *mirror) check(t *testing.T, step int, op string) {
 		}
 		refs[top]++
 	}
-	if m.mA.totalTop != totalTop {
-		t.Fatalf("step %d (%s): cached totalTop = %d, fresh derivation = %d", step, op, m.mA.totalTop, totalTop)
+	for _, mon := range []struct {
+		name string
+		m    *Monitor
+	}{{"incremental", m.mA}, {"batched", m.mC}} {
+		if mon.m.totalTop != totalTop {
+			t.Fatalf("step %d (%s): %s cached totalTop = %d, fresh derivation = %d", step, op, mon.name, mon.m.totalTop, totalTop)
+		}
+		if len(mon.m.tops) != len(refs) {
+			t.Fatalf("step %d (%s): %s cached %d top entries, fresh derivation has %d", step, op, mon.name, len(mon.m.tops), len(refs))
+		}
+		for top, want := range refs {
+			e, ok := mon.m.tops[top]
+			if !ok || e.refs != want || e.shares != top.CPU.Shares {
+				t.Fatalf("step %d (%s): %s top %s cache {refs %d, shares %d}, want {refs %d, shares %d}",
+					step, op, mon.name, top.Name, e.refs, e.shares, want, top.CPU.Shares)
+			}
+		}
 	}
-	if len(m.mA.tops) != len(refs) {
-		t.Fatalf("step %d (%s): cached %d top entries, fresh derivation has %d", step, op, len(m.mA.tops), len(refs))
+
+	// Batched fixed point: flush (any bounds read), record, then rebuild
+	// everything from live state — nothing may move. A lost or mis-scoped
+	// dirty mark would leave some namespace's flushed bounds behind the
+	// live hierarchy, and the rebuild would expose it. FullRecompute here
+	// does not perturb the schedule: the cache it rebuilds was just
+	// checked against the same fresh derivation, and re-clamping E_CPU
+	// into unchanged bounds is a no-op.
+	type span struct{ lower, upper, e int }
+	flushed := make(map[*cgroups.Cgroup]span, len(m.mC.order))
+	for _, ns := range m.mC.order {
+		l, u := ns.CPUBounds() // flush boundary: deferred marks apply here
+		e := ns.EffectiveCPU()
+		if e < l || e > u {
+			t.Fatalf("step %d (%s): %s batched E_CPU %d outside bounds [%d,%d]", step, op, ns.cg.Name, e, l, u)
+		}
+		flushed[ns.cg] = span{l, u, e}
 	}
-	for top, want := range refs {
-		e, ok := m.mA.tops[top]
-		if !ok || e.refs != want || e.shares != top.CPU.Shares {
-			t.Fatalf("step %d (%s): top %s cache {refs %d, shares %d}, want {refs %d, shares %d}",
-				step, op, top.Name, e.refs, e.shares, want, top.CPU.Shares)
+	m.mC.FullRecompute()
+	for _, ns := range m.mC.order {
+		l, u := ns.CPUBounds()
+		got := span{l, u, ns.EffectiveCPU()}
+		if got != flushed[ns.cg] {
+			t.Fatalf("step %d (%s): %s batched flush lost a mark: flushed {[%d,%d] e=%d}, full rebuild {[%d,%d] e=%d}",
+				step, op, ns.cg.Name, flushed[ns.cg].lower, flushed[ns.cg].upper, flushed[ns.cg].e, got.lower, got.upper, got.e)
 		}
 	}
 }

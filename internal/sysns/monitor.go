@@ -28,6 +28,16 @@ type Monitor struct {
 	spaces map[*cgroups.Cgroup]*SysNamespace
 	order  []*SysNamespace
 
+	// Slot-indexed hot state (struct-of-arrays, split by access pattern;
+	// see the SysNamespace comment and DESIGN.md §14). order holds the
+	// attach-order handles; each handle's slot indexes these parallel
+	// arrays. A slot is index-stable for the namespace's lifetime and
+	// recycled through freeSlots after Detach freezes it.
+	nsCPU     []cpuSlot
+	nsMem     []memSlot
+	nsMeta    []metaSlot
+	freeSlots []int
+
 	// Incremental recompute cache (see DESIGN.md §10). tops holds one
 	// entry per top-level entity with attached namespaces below it (for
 	// a flat container, its own cgroup; for a nested one, the enclosing
@@ -48,6 +58,16 @@ type Monitor struct {
 	// recompute). They are flushed at the next trigger, which is exactly
 	// when the full-walk implementation would have absorbed the change.
 	pendingTops []*cgroups.Cgroup
+
+	// Batched-recompute state (Options.BatchedRecompute; DESIGN.md §14).
+	// boundsDirtyAll coalesces "every fraction changed" triggers,
+	// dirtyTops the per-subtree ones; flushBounds applies both in one
+	// pass at the next read boundary. inFlush suppresses re-entry (and
+	// immediate snapshot publication) while a flush is delivering queued
+	// events. All idle on the default eager path.
+	boundsDirtyAll bool
+	inFlush        bool
+	dirtyTops      []*cgroups.Cgroup
 
 	// FixedPeriod, when non-zero, pins the update period instead of
 	// tracking the scheduling period (used by the update-period
@@ -140,12 +160,29 @@ func topOf(cg *cgroups.Cgroup) *cgroups.Cgroup {
 	return cg
 }
 
+// allocSlot returns a zeroed slot index, recycling freed ones before
+// growing the parallel arrays.
+func (m *Monitor) allocSlot() int {
+	if n := len(m.freeSlots); n > 0 {
+		s := m.freeSlots[n-1]
+		m.freeSlots = m.freeSlots[:n-1]
+		m.nsCPU[s], m.nsMem[s], m.nsMeta[s] = cpuSlot{}, memSlot{}, metaSlot{}
+		return s
+	}
+	m.nsCPU = append(m.nsCPU, cpuSlot{})
+	m.nsMem = append(m.nsMem, memSlot{})
+	m.nsMeta = append(m.nsMeta, metaSlot{})
+	return len(m.nsCPU) - 1
+}
+
 // Attach creates a sys_namespace for cg (idempotent) and returns it.
 func (m *Monitor) Attach(cg *cgroups.Cgroup) *SysNamespace {
 	if ns, ok := m.spaces[cg]; ok {
 		return ns
 	}
-	ns := &SysNamespace{cg: cg, hier: m.hier, opts: m.opts, created: m.clock.Now(), lastAt: m.clock.Now(), prevKswapd: m.hier.Memory().KswapdRuns()}
+	ns := &SysNamespace{cg: cg, hier: m.hier, mon: m, opts: m.opts, created: m.clock.Now(), slot: m.allocSlot()}
+	m.nsMeta[ns.slot].lastAt = m.clock.Now()
+	m.nsMem[ns.slot].prevKswapd = m.hier.Memory().KswapdRuns()
 	m.spaces[cg] = ns
 	m.order = append(m.order, ns)
 	if m.syncSuppressed() {
@@ -164,14 +201,29 @@ func (m *Monitor) Attach(cg *cgroups.Cgroup) *SysNamespace {
 		e.shares = top.CPU.Shares
 		m.tops[top] = e
 		m.totalTop += e.shares
-		m.pendingTops = m.pendingTops[:0] // subsumed by the full pass
-		m.recomputeBoundsAll()
+		if m.batched() {
+			// The new namespace needs live bounds immediately (E_CPU
+			// initializes from them); every other view coalesces into
+			// the next flush. This is what turns a fleet build from
+			// O(n²) into O(n): the eager path below recomputes all n
+			// bounds on every attach.
+			m.recomputeOne(ns)
+			m.markAllDirty()
+		} else {
+			m.pendingTops = m.pendingTops[:0] // subsumed by the full pass
+			m.recomputeBoundsAll()
+		}
 	} else {
 		// The denominator is unchanged (sibling sums count all children,
 		// attached or not); only the subtree needs bounds.
 		m.tops[top] = e
-		m.flushPending()
-		m.recomputeTop(top)
+		if m.batched() {
+			m.recomputeOne(ns)
+			m.markBoundsDirty(top)
+		} else {
+			m.flushPending()
+			m.recomputeTop(top)
+		}
 	}
 	ns.ResetMemory()
 	// Publish at the post-recompute point: the new namespace (and any
@@ -194,6 +246,12 @@ func (m *Monitor) Detach(cg *cgroups.Cgroup) {
 			break
 		}
 	}
+	// Freeze the slot state into the handle: post-mortem readers (end-of-
+	// run summaries over killed containers) keep the last live view, and
+	// the slot can be recycled without them observing its next tenant.
+	ns.finalCPU, ns.finalMem, ns.finalMeta = m.nsCPU[ns.slot], m.nsMem[ns.slot], m.nsMeta[ns.slot]
+	ns.detached = true
+	m.freeSlots = append(m.freeSlots, ns.slot)
 	if m.syncSuppressed() {
 		m.publishTopo(m.clock.Now())
 		return
@@ -206,15 +264,23 @@ func (m *Monitor) Detach(cg *cgroups.Cgroup) {
 		// Last namespace under this entity: its shares leave Σw_j.
 		delete(m.tops, top)
 		m.totalTop -= e.shares
-		m.pendingTops = m.pendingTops[:0] // subsumed by the full pass
-		m.recomputeBoundsAll()
+		if m.batched() {
+			m.markAllDirty()
+		} else {
+			m.pendingTops = m.pendingTops[:0] // subsumed by the full pass
+			m.recomputeBoundsAll()
+		}
 	} else {
 		// Detach via cgroup removal shrank the sibling sum (the group is
 		// already gone from the hierarchy); recompute the subtree. For a
 		// plain detach this is a no-op recompute.
 		m.tops[top] = e
-		m.flushPending()
-		m.recomputeTop(top)
+		if m.batched() {
+			m.markBoundsDirty(top)
+		} else {
+			m.flushPending()
+			m.recomputeTop(top)
+		}
 	}
 	// As in Attach: publish once the cache and bounds are consistent.
 	m.publishTopo(m.clock.Now())
@@ -274,8 +340,87 @@ func (m *Monitor) onEvent(e cgroups.Event) {
 		if m.syncSuppressed() {
 			return
 		}
-		m.flushPending()
+		if !m.batched() {
+			m.flushPending()
+		}
 	}
+}
+
+// batched reports whether deferred bounds recomputation is enabled.
+func (m *Monitor) batched() bool { return m.opts.BatchedRecompute }
+
+// markAllDirty records that every namespace's bounds must be recomputed
+// at the next flush (a Σw_j change reaches every container), subsuming
+// any finer marks.
+func (m *Monitor) markAllDirty() {
+	m.boundsDirtyAll = true
+	m.dirtyTops = m.dirtyTops[:0]
+	m.pendingTops = m.pendingTops[:0]
+}
+
+// markBoundsDirty queues one top-level subtree for recomputation at the
+// next flush. Once the dirty list covers more than half the fleet the
+// per-subtree bookkeeping (map lookups per entry, duplicate marks)
+// costs more than the one dense full pass it avoids, so the marks
+// escalate to boundsDirtyAll — the flush stays O(min(events, n)).
+func (m *Monitor) markBoundsDirty(top *cgroups.Cgroup) {
+	if m.boundsDirtyAll {
+		return
+	}
+	if len(m.dirtyTops) >= 64 && len(m.dirtyTops) >= len(m.order)/2 {
+		m.markAllDirty()
+		return
+	}
+	m.dirtyTops = append(m.dirtyTops, top)
+}
+
+// flushBounds is the read boundary for every deferred-work mode
+// (DESIGN.md §14): it drains any sharded cgroup event queues —
+// delivering the cache deltas and dirty marks their events carry — then
+// applies every deferred bounds-recompute mark in one pass. A whole
+// churn interval's worth of events thus costs one recompute pass
+// instead of one per event. It runs whenever there is deferred work,
+// whatever produced it: queued events exist even with eager recompute
+// when sharded dispatch is on (each drained event then recomputes
+// synchronously, just time-shifted to the boundary), and dirty marks
+// exist only in batched mode. With neither — the default configuration —
+// it is three loads and a return; re-entry while a flush is running is
+// likewise a no-op.
+func (m *Monitor) flushBounds() {
+	if m.inFlush {
+		return
+	}
+	if m.hier.Queued() == 0 && !m.boundsDirtyAll && len(m.dirtyTops) == 0 &&
+		(len(m.pendingTops) == 0 || !m.batched()) {
+		return
+	}
+	m.inFlush = true
+	m.hier.Drain()
+	if m.boundsDirtyAll {
+		m.boundsDirtyAll = false
+		m.pendingTops = m.pendingTops[:0]
+		m.recomputeBoundsAll()
+	} else {
+		// Pending sibling dilutions flush here only in batched mode: its
+		// contract is "live state at every flush boundary". The eager
+		// contract instead preserves them until the next recompute
+		// trigger (the historical walk's behavior), which drained events
+		// honor on their own via onCPUChanged/onEvent.
+		if m.batched() {
+			m.flushPending()
+		}
+		for _, top := range m.dirtyTops {
+			// Dirty marks may outlive their subtree (detach, removal):
+			// recompute only what is still tracked. Duplicate marks
+			// recompute twice — idempotent, and bounded by the escalation
+			// threshold in markBoundsDirty.
+			if _, tracked := m.tops[top]; tracked {
+				m.recomputeTop(top)
+			}
+		}
+	}
+	m.dirtyTops = m.dirtyTops[:0]
+	m.inFlush = false
 }
 
 // onCPUChanged applies one delivered cpu-limit event to the cache and
@@ -288,8 +433,11 @@ func (m *Monitor) onCPUChanged(cg *cgroups.Cgroup) {
 		// No attached namespace anywhere under this entity: its shares
 		// are outside Σw_j and nobody reads its quota/cpuset — but the
 		// full walk still ran on this trigger, so it is where any pending
-		// dilution would have been absorbed.
-		m.flushPending()
+		// dilution would have been absorbed. (Batched mode defers the
+		// pending flush to the next read boundary with everything else.)
+		if !m.batched() {
+			m.flushPending()
+		}
 		return
 	}
 	if cg == top {
@@ -302,18 +450,25 @@ func (m *Monitor) onCPUChanged(cg *cgroups.Cgroup) {
 			m.totalTop += s - e.shares
 			e.shares = s
 			m.tops[top] = e
-			m.pendingTops = m.pendingTops[:0] // subsumed by the full pass
-			m.recomputeBoundsAll()
+			if m.batched() {
+				m.markAllDirty()
+			} else {
+				m.pendingTops = m.pendingTops[:0] // subsumed by the full pass
+				m.recomputeBoundsAll()
+			}
 			return
 		}
 		// Quota/period/cpuset change on the entity: fractions are
 		// untouched, but the subtree's upper bounds read these limits.
-		m.flushPending()
-		m.recomputeTop(top)
+		// (Fall through: handled like the nested case.)
+	}
+	// Subtree-local change: the entity's limits cap its members, a
+	// nested cgroup's shares enter the sibling sum and its limits cap
+	// its own namespace.
+	if m.batched() {
+		m.markBoundsDirty(top)
 		return
 	}
-	// Nested cgroup: its shares enter the sibling sum and its limits cap
-	// its own namespace — both local to the pod subtree.
 	m.flushPending()
 	m.recomputeTop(top)
 }
@@ -370,6 +525,8 @@ func (m *Monitor) FullRecompute() {
 		m.tops[top] = e
 	}
 	m.pendingTops = m.pendingTops[:0]
+	m.dirtyTops = m.dirtyTops[:0]
+	m.boundsDirtyAll = false
 	m.seenSuppressed = m.hier.Suppressed()
 	m.recomputeBoundsAll()
 }
@@ -500,8 +657,12 @@ func (m *Monitor) Tick(now sim.Time, dt time.Duration) {
 	if b <= 0 {
 		return
 	}
+	// The fallback reads LOWER_CPU, so the staleness scan is a batched-
+	// mode flush boundary (no-op on the eager path).
+	m.flushBounds()
 	for _, ns := range m.order {
-		if ns.degraded || ns.Age(now) <= b {
+		mt := &m.nsMeta[ns.slot]
+		if mt.degraded || mt.lastAt+sim.Time(b) >= now {
 			continue
 		}
 		ns.fallback()
@@ -509,7 +670,7 @@ func (m *Monitor) Tick(now sim.Time, dt time.Duration) {
 		m.Trace.Add(telemetry.CtrStaleFallbacks, 1)
 		if m.Trace.Enabled() {
 			m.Trace.Emit(now, telemetry.KindStaleFallback, ns.cg.Name,
-				int64(ns.Age(now)), int64(ns.eCPU))
+				int64(ns.Age(now)), int64(m.nsCPU[ns.slot].eCPU))
 		}
 	}
 }
@@ -528,10 +689,11 @@ func (m *Monitor) NextEvent(now sim.Time) (sim.Time, bool) {
 	var earliest sim.Time
 	found := false
 	for _, ns := range m.order {
-		if ns.degraded {
+		mt := &m.nsMeta[ns.slot]
+		if mt.degraded {
 			continue
 		}
-		if t := ns.lastAt + sim.Time(b); !found || t < earliest {
+		if t := mt.lastAt + sim.Time(b); !found || t < earliest {
 			earliest, found = t, true
 		}
 	}
@@ -550,6 +712,9 @@ func (m *Monitor) AttachTelemetry(tr *telemetry.Tracer) { m.Trace = tr }
 // namespace. Exposed so tests and benchmarks can drive updates without
 // the timer.
 func (m *Monitor) UpdateAll(now sim.Time) {
+	// The round reads every namespace's bounds, so it is the canonical
+	// batched-mode flush boundary: deferred event work coalesces here.
+	m.flushBounds()
 	window := time.Duration(now - m.lastUpdate)
 	if window <= 0 {
 		window = m.Period()
@@ -589,12 +754,14 @@ func (m *Monitor) resync(now sim.Time) {
 	type bounds struct{ lower, upper int }
 	before := make([]bounds, len(m.order))
 	for i, ns := range m.order {
-		before[i] = bounds{ns.lowerCPU, ns.upperCPU}
+		c := &m.nsCPU[ns.slot]
+		before[i] = bounds{c.lowerCPU, c.upperCPU}
 	}
 	m.FullRecompute()
 	drift := false
 	for i, ns := range m.order {
-		if before[i] != (bounds{ns.lowerCPU, ns.upperCPU}) {
+		c := &m.nsCPU[ns.slot]
+		if before[i] != (bounds{c.lowerCPU, c.upperCPU}) {
 			drift = true
 			break
 		}

@@ -186,9 +186,15 @@ func (m *Monitor) WarmSnapshot() {
 
 // publishTopo is the gated publication for topology triggers (attach,
 // detach): immediate when the monitor has consumers, recorded as
-// pending dirtiness otherwise.
+// pending dirtiness otherwise. While a batched-mode flush is delivering
+// queued events the publication is deferred too — the read boundary
+// that triggered the flush cuts one consistent snapshot for the whole
+// batch right after.
 func (m *Monitor) publishTopo(now sim.Time) {
 	m.markTopoDirty()
+	if m.inFlush {
+		return
+	}
 	if m.observed.Load() {
 		m.Publish(now)
 	}
@@ -260,6 +266,10 @@ func (m *Monitor) Republish() {
 // simulation state strictly through non-mutating accessors, so
 // publication never perturbs the simulation.
 func (m *Monitor) Publish(now sim.Time) *ViewSnapshot {
+	// A snapshot is a read of every bounds value: flush any batched-mode
+	// deferred recomputes first (no-op on the eager path) so the cut
+	// never exposes pre-coalesce bounds.
+	m.flushBounds()
 	prev := m.snap.Load()
 	sched := m.hier.Scheduler()
 	mem := m.hier.Memory()
@@ -284,15 +294,16 @@ func (m *Monitor) Publish(now sim.Time) *ViewSnapshot {
 		if m.stateFn != nil {
 			cv.State = m.stateFn(ns.cg.Name)
 		}
-		cv.EffectiveCPU = ns.eCPU
-		cv.LowerCPU = ns.lowerCPU
-		cv.UpperCPU = ns.upperCPU
-		cv.EffectiveMemory = ns.eMem
+		cs, mt := &m.nsCPU[ns.slot], &m.nsMeta[ns.slot]
+		cv.EffectiveCPU = cs.eCPU
+		cv.LowerCPU = cs.lowerCPU
+		cv.UpperCPU = cs.upperCPU
+		cv.EffectiveMemory = m.nsMem[ns.slot].eMem
 		cv.Resident = ns.cg.Mem.Resident()
 		cv.Swapped = ns.cg.Mem.Swapped()
-		cv.Degraded = ns.degraded
-		cv.Updates = ns.updates
-		cv.LastUpdate = ns.lastAt
+		cv.Degraded = mt.degraded
+		cv.Updates = mt.updates
+		cv.LastUpdate = mt.lastAt
 	}
 	cgs := m.hier.Cgroups()
 	s.Cgroups = make([]CgroupView, len(cgs))

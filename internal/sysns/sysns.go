@@ -83,6 +83,20 @@ type Options struct {
 	// differential tests assert it — so this is a verification and
 	// benchmarking knob, not a behavior switch.
 	DisableIncremental bool
+
+	// BatchedRecompute defers bounds recomputation to read boundaries:
+	// cgroup events still update the share-aggregate cache eagerly (the
+	// Σw_j deltas are exact), but the O(n) bounds passes they would
+	// trigger coalesce into one pass at the next update round, snapshot
+	// cut, staleness scan, or bounds read (DESIGN.md §14). Bounds agree
+	// with the eager path at every flush boundary — the batched
+	// differential test asserts it — but because the E_CPU clamp is
+	// stateful, deferral is observable: a view clamped through an
+	// intermediate bounds state under eager recompute may settle one
+	// step away under batching. It is therefore an opt-in scale lever
+	// (the scalebench fleet runs it), never a default: every golden
+	// experiment stays on the eager path.
+	BatchedRecompute bool
 }
 
 func (o Options) resyncMax() time.Duration {
@@ -120,23 +134,49 @@ func (o Options) cpuStep() int {
 	return CPUStep
 }
 
-// SysNamespace holds one container's effective-resource view.
-type SysNamespace struct {
-	cg   *cgroups.Cgroup
-	hier *cgroups.Hierarchy
-	opts Options
-
-	// Effective CPU state (Algorithm 1).
+// cpuSlot is the Algorithm 1 field group of one namespace slot: the
+// effective CPU and its bounds, written by every bounds recompute and
+// every CPU update round. Keeping the group contiguous per slot makes
+// the monitor's O(n) bounds passes walk one dense array.
+type cpuSlot struct {
 	eCPU     int
 	lowerCPU int
 	upperCPU int
+}
 
-	// Effective memory state (Algorithm 2).
+// memSlot is the Algorithm 2 field group: the effective memory and the
+// previous round's inputs (p_free, p_mem, and the kswapd run count).
+type memSlot struct {
 	eMem       units.Bytes
 	prevFree   units.Bytes
 	prevUsage  units.Bytes
-	havePrev   bool
 	prevKswapd int
+	havePrev   bool
+}
+
+// metaSlot is the update-metadata field group: round counting, staleness
+// tracking, and the degraded-fallback flag.
+type metaSlot struct {
+	updates  uint64
+	lastAt   sim.Time
+	degraded bool
+}
+
+// SysNamespace holds one container's effective-resource view. It is a
+// handle: the hot per-view state — bounds, E_CPU, E_MEM, the Algorithm 2
+// history, update metadata — lives in slot-indexed parallel arrays owned
+// by the Monitor (struct-of-arrays, split by access pattern; DESIGN.md
+// §14), so the monitor's O(n) passes over all views walk dense memory
+// instead of chasing one heap object per container. Slots are
+// index-stable for the namespace's lifetime; Detach freezes the slot
+// state into the handle before recycling it, so late readers (post-run
+// summaries over killed containers) keep seeing the last live values.
+type SysNamespace struct {
+	cg   *cgroups.Cgroup
+	hier *cgroups.Hierarchy
+	mon  *Monitor
+	opts Options
+	slot int
 
 	// OwnerPID is the PID of the task owning the namespace. Ownership
 	// starts at the container's bootstrap init process and is
@@ -144,50 +184,88 @@ type SysNamespace struct {
 	// (§3.2); see internal/container.
 	OwnerPID int
 
-	updates  uint64
-	lastAt   sim.Time
 	created  sim.Time
-	degraded bool
+	detached bool
+
+	// Frozen copies of the slot state, written once at Detach.
+	finalCPU  cpuSlot
+	finalMem  memSlot
+	finalMeta metaSlot
+}
+
+// slotCPU returns the namespace's Algorithm 1 state: its monitor slot
+// while attached, the frozen copy afterwards.
+func (ns *SysNamespace) slotCPU() *cpuSlot {
+	if ns.detached {
+		return &ns.finalCPU
+	}
+	return &ns.mon.nsCPU[ns.slot]
+}
+
+// slotMem returns the namespace's Algorithm 2 state.
+func (ns *SysNamespace) slotMem() *memSlot {
+	if ns.detached {
+		return &ns.finalMem
+	}
+	return &ns.mon.nsMem[ns.slot]
+}
+
+// slotMeta returns the namespace's update metadata.
+func (ns *SysNamespace) slotMeta() *metaSlot {
+	if ns.detached {
+		return &ns.finalMeta
+	}
+	return &ns.mon.nsMeta[ns.slot]
 }
 
 // Cgroup returns the control group this namespace describes.
 func (ns *SysNamespace) Cgroup() *cgroups.Cgroup { return ns.cg }
 
 // EffectiveCPU returns E_CPU: the number of dedicated-CPU equivalents
-// currently available to the container.
-func (ns *SysNamespace) EffectiveCPU() int { return ns.eCPU }
+// currently available to the container. Under batched recompute the
+// read is a flush boundary: any deferred bounds marks are applied
+// first, so callers never observe pre-coalesce values (on the default
+// eager path the flush is a no-op).
+func (ns *SysNamespace) EffectiveCPU() int {
+	ns.mon.flushBounds()
+	return ns.slotCPU().eCPU
+}
 
 // EffectiveMemory returns E_MEM.
-func (ns *SysNamespace) EffectiveMemory() units.Bytes { return ns.eMem }
+func (ns *SysNamespace) EffectiveMemory() units.Bytes { return ns.slotMem().eMem }
 
-// CPUBounds returns the current [LOWER_CPU, UPPER_CPU] range.
+// CPUBounds returns the current [LOWER_CPU, UPPER_CPU] range. Like
+// EffectiveCPU, the read is a batched-mode flush boundary.
 func (ns *SysNamespace) CPUBounds() (lower, upper int) {
-	return ns.lowerCPU, ns.upperCPU
+	ns.mon.flushBounds()
+	c := ns.slotCPU()
+	return c.lowerCPU, c.upperCPU
 }
 
 // Updates returns how many timer updates the namespace has processed.
-func (ns *SysNamespace) Updates() uint64 { return ns.updates }
+func (ns *SysNamespace) Updates() uint64 { return ns.slotMeta().updates }
 
 // Age returns the virtual-time age of the view: how long ago the last
 // Algorithm 1 round ran (or, before the first round, how long ago the
 // namespace was attached).
 func (ns *SysNamespace) Age(now sim.Time) time.Duration {
-	return time.Duration(now - ns.lastAt)
+	return time.Duration(now - ns.slotMeta().lastAt)
 }
 
 // Degraded reports whether the conservative fallback view is currently
 // engaged (the view's age exceeded the monitor's staleness budget and
 // no update has landed since).
-func (ns *SysNamespace) Degraded() bool { return ns.degraded }
+func (ns *SysNamespace) Degraded() bool { return ns.slotMeta().degraded }
 
 // fallback engages the conservative view: the guaranteed CPU lower
 // bound and the guaranteed (soft-limit) memory — the values the
 // container holds regardless of what happened since the view went
 // stale. The next successful update round clears it.
 func (ns *SysNamespace) fallback() {
-	ns.eCPU = ns.lowerCPU
-	ns.eMem = ns.softMem()
-	ns.degraded = true
+	c := ns.slotCPU()
+	c.eCPU = c.lowerCPU
+	ns.slotMem().eMem = ns.softMem()
+	ns.slotMeta().degraded = true
 }
 
 // hardMem returns the hard limit with "unlimited" resolved to host RAM.
@@ -252,18 +330,19 @@ func (ns *SysNamespace) RecomputeBounds(shareFrac float64) {
 
 	lower := min(upper, shareCPUs)
 
-	ns.lowerCPU, ns.upperCPU = lower, upper
-	if ns.eCPU == 0 {
+	c := ns.slotCPU()
+	c.lowerCPU, c.upperCPU = lower, upper
+	if c.eCPU == 0 {
 		// Initialisation: E_CPU_i = LOWER_CPU_i (Algorithm 1, line 6).
-		ns.eCPU = lower
+		c.eCPU = lower
 	}
-	ns.eCPU = units.ClampInt(ns.eCPU, lower, upper)
+	c.eCPU = units.ClampInt(c.eCPU, lower, upper)
 }
 
 // ResetMemory initialises (or re-initialises) effective memory to the
 // soft limit (Algorithm 2, lines 3 and 14).
 func (ns *SysNamespace) ResetMemory() {
-	ns.eMem = ns.softMem()
+	ns.slotMem().eMem = ns.softMem()
 }
 
 // UpdateCPU performs one Algorithm 1 adjustment round. window is the
@@ -271,21 +350,23 @@ func (ns *SysNamespace) ResetMemory() {
 // the window; slack is the system-wide unused CPU capacity accumulated
 // during the window (p_slack).
 func (ns *SysNamespace) UpdateCPU(now sim.Time, window time.Duration, usage, slack units.CPUSeconds) {
-	ns.updates++
-	ns.lastAt = now
-	ns.degraded = false
+	mt := ns.slotMeta()
+	mt.updates++
+	mt.lastAt = now
+	mt.degraded = false
+	c := ns.slotCPU()
 	if ns.opts.DisableGrowth {
-		ns.eCPU = ns.lowerCPU
+		c.eCPU = c.lowerCPU
 		return
 	}
 	step := ns.opts.cpuStep()
 	if slack > 0 {
-		capacity := float64(ns.eCPU) * window.Seconds()
-		if capacity > 0 && float64(usage)/capacity > ns.opts.utilThreshold() && ns.eCPU < ns.upperCPU {
-			ns.eCPU = units.ClampInt(ns.eCPU+step, ns.lowerCPU, ns.upperCPU)
+		capacity := float64(c.eCPU) * window.Seconds()
+		if capacity > 0 && float64(usage)/capacity > ns.opts.utilThreshold() && c.eCPU < c.upperCPU {
+			c.eCPU = units.ClampInt(c.eCPU+step, c.lowerCPU, c.upperCPU)
 		}
-	} else if ns.eCPU > ns.lowerCPU {
-		ns.eCPU = units.ClampInt(ns.eCPU-step, ns.lowerCPU, ns.upperCPU)
+	} else if c.eCPU > c.lowerCPU {
+		c.eCPU = units.ClampInt(c.eCPU-step, c.lowerCPU, c.upperCPU)
 	}
 }
 
@@ -298,8 +379,9 @@ func (ns *SysNamespace) UpdateMem(now sim.Time) {
 	cmem := ns.cg.Mem.Resident()
 	kswapd := mem.KswapdRuns()
 	ns.updateMem(mem, cfree, cmem, kswapd)
-	ns.prevFree, ns.prevUsage, ns.havePrev = cfree, cmem, true
-	ns.prevKswapd = kswapd
+	ms := ns.slotMem()
+	ms.prevFree, ms.prevUsage, ms.havePrev = cfree, cmem, true
+	ms.prevKswapd = kswapd
 }
 
 // updateMem is UpdateMem's adjustment logic, split out so the caller can
@@ -307,26 +389,27 @@ func (ns *SysNamespace) UpdateMem(now sim.Time) {
 // deferred closure (UpdateMem runs once per namespace per period — it is
 // the monitor's hot path and must not allocate).
 func (ns *SysNamespace) updateMem(mem *memctl.Controller, cfree, cmem units.Bytes, kswapd int) {
+	ms := ns.slotMem()
 	// "Whenever system memory is in shortage and kswapd is reclaiming
 	// memory, reset a container's effective memory to its soft limit":
 	// shortage is visible either as free memory below the low watermark
 	// right now, or as kswapd activity since the previous update (free
 	// memory may already have recovered to the high watermark by the
 	// time the timer fires).
-	reclaiming := cfree <= mem.LowWM || kswapd > ns.prevKswapd
+	reclaiming := cfree <= mem.LowWM || kswapd > ms.prevKswapd
 
-	if ns.eMem == 0 {
+	if ms.eMem == 0 {
 		ns.ResetMemory()
 	}
 	if ns.opts.DisableGrowth {
-		ns.eMem = ns.softMem()
+		ms.eMem = ns.softMem()
 		return
 	}
 
 	hard := ns.hardMem()
 	if !reclaiming {
-		if ns.eMem > 0 && float64(cmem)/float64(ns.eMem) > ns.opts.memUtilThreshold() && ns.eMem < hard {
-			delta := units.Bytes(float64(hard-ns.eMem) * ns.opts.memStepFrac())
+		if ms.eMem > 0 && float64(cmem)/float64(ms.eMem) > ns.opts.memUtilThreshold() && ms.eMem < hard {
+			delta := units.Bytes(float64(hard-ms.eMem) * ns.opts.memStepFrac())
 			if delta <= 0 {
 				return
 			}
@@ -335,17 +418,17 @@ func (ns *SysNamespace) updateMem(mem *memctl.Controller, cfree, cmem units.Byte
 			// (Algorithm 2, line 8). With no history, or a container
 			// that did not grow, assume a 1:1 ratio.
 			ratio := 1.0
-			if ns.havePrev && cmem > ns.prevUsage {
-				ratio = float64(ns.prevFree-cfree) / float64(cmem-ns.prevUsage)
+			if ms.havePrev && cmem > ms.prevUsage {
+				ratio = float64(ms.prevFree-cfree) / float64(cmem-ms.prevUsage)
 				if ratio < 0 {
 					ratio = 0
 				}
 			}
 			predicted := units.Bytes(ratio * float64(delta))
 			if cfree-predicted > mem.HighWM {
-				ns.eMem += delta
-				if ns.eMem > hard {
-					ns.eMem = hard
+				ms.eMem += delta
+				if ms.eMem > hard {
+					ms.eMem = hard
 				}
 			}
 		}

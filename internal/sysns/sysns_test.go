@@ -121,7 +121,7 @@ func TestEffectiveCPUGrowsOnSlackAndHighUtil(t *testing.T) {
 	cg, ns := f.attach("a")
 	f.attach("b") // lower bound becomes 4
 	cg.SetQuotaCPUs(8)
-	ns.eCPU = ns.lowerCPU // start from the guaranteed share (4)
+	ns.slotCPU().eCPU = ns.slotCPU().lowerCPU // start from the guaranteed share (4)
 	window := 24 * time.Millisecond
 	use := units.CPUSeconds(float64(ns.EffectiveCPU()) * window.Seconds() * 0.99)
 	ns.UpdateCPU(0, window, use, 1 /* slack */)
@@ -144,8 +144,8 @@ func TestEffectiveCPUStaysOnLowUtil(t *testing.T) {
 func TestEffectiveCPUShrinksWithoutSlack(t *testing.T) {
 	f := newFixture(8, 16*units.GiB)
 	_, ns := f.attach("a")
-	ns.eCPU = 8
-	ns.lowerCPU = 2
+	ns.slotCPU().eCPU = 8
+	ns.slotCPU().lowerCPU = 2
 	ns.UpdateCPU(0, 24*time.Millisecond, 1, 0)
 	if ns.EffectiveCPU() != 7 {
 		t.Fatalf("E_CPU = %d, want 7 (one step down)", ns.EffectiveCPU())
@@ -164,7 +164,7 @@ func TestEffectiveCPUStepLimit(t *testing.T) {
 	cg, ns := f.attach("a")
 	f.attach("b")
 	cg.SetQuotaCPUs(16)
-	ns.eCPU = ns.lowerCPU // far below the upper bound
+	ns.slotCPU().eCPU = ns.slotCPU().lowerCPU // far below the upper bound
 	before := ns.EffectiveCPU()
 	busy := units.CPUSeconds(float64(before) * 0.024)
 	ns.UpdateCPU(0, 24*time.Millisecond, busy, 5)
@@ -262,7 +262,7 @@ func TestEffectiveMemoryResetsOnShortage(t *testing.T) {
 	cg, ns := f.attach("a")
 	cg.SetMemLimits(4*units.GiB, units.GiB)
 	ns.ResetMemory()
-	ns.eMem = 3 * units.GiB // pretend it grew
+	ns.slotMem().eMem = 3 * units.GiB // pretend it grew
 	hog := f.hier.Create("hog")
 	f.mem.Charge(hog.Mem, f.mem.Free()-f.mem.LowWM+units.MiB, 0)
 	ns.UpdateMem(0)

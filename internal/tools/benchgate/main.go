@@ -1,18 +1,29 @@
-// Command benchgate enforces allocation budgets on `go test -bench`
-// output (benchstat-style, but a gate rather than a diff): it scans
-// benchmark result lines, selects those whose name matches -match, and
-// fails if any reports more than -max-allocs allocs/op. Zero matching
-// benchmarks is also a failure, so a renamed benchmark cannot silently
-// disarm the gate.
+// Command benchgate enforces performance budgets as gates rather than
+// diffs. It has two modes:
 //
-// Usage (see `make bench-scale`):
+// Allocation mode (the default) scans `go test -bench -benchmem` output,
+// selects result lines whose name matches -match, and fails if any
+// reports more than -max-allocs allocs/op. Zero matching benchmarks is
+// also a failure, so a renamed benchmark cannot silently disarm the
+// gate.
 //
 //	go test -run xxx -bench ScaleSteady -benchmem -benchtime 50x . > out.txt
 //	go run ./internal/tools/benchgate -match ScaleSteady -max-allocs 0 out.txt
+//
+// Regression mode (-scale-baseline) compares a freshly generated
+// BENCH_scale.json document against the committed one: it finds the
+// -scale-n container-count row in both and fails if the fresh
+// ns_per_sim_second exceeds the baseline by more than -max-regress
+// (a fraction; 0.25 = 25% slower). A missing row on either side is a
+// failure for the same reason as above. See `make bench-gate`.
+//
+//	go run ./cmd/arvbench -scalebench 1024 -scalebench-reps 3 -json fresh.json
+//	go run ./internal/tools/benchgate -scale-baseline BENCH_scale.json -scale-fresh fresh.json -scale-n 1024 -max-regress 0.25
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,12 +37,81 @@ import (
 //	BenchmarkScaleSteadyTick/n=64-8  50  1234 ns/op  0 B/op  0 allocs/op
 var resultLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+.*?(\d+)\s+allocs/op`)
 
+// scaleDoc is the slice of BENCH_scale.json the regression gate reads:
+// the container count keys the row, ns_per_sim_second is the budgeted
+// quantity.
+type scaleDoc struct {
+	Runs []struct {
+		Containers  int     `json:"containers"`
+		NsPerSimSec float64 `json:"ns_per_sim_second"`
+	} `json:"runs"`
+}
+
+// nsPerSimSec loads path and returns the ns_per_sim_second of the row
+// with the given container count.
+func nsPerSimSec(path string, n int) (float64, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	var doc scaleDoc
+	if err := json.Unmarshal(buf, &doc); err != nil {
+		return 0, fmt.Errorf("%s: %v", path, err)
+	}
+	for _, r := range doc.Runs {
+		if r.Containers == n {
+			return r.NsPerSimSec, nil
+		}
+	}
+	return 0, fmt.Errorf("%s: no run with containers=%d", path, n)
+}
+
+// gateScaleRegression is regression mode: fresh vs committed
+// ns_per_sim_second at one container count.
+func gateScaleRegression(baseline, fresh string, n int, maxRegress float64) {
+	base, err := nsPerSimSec(baseline, n)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	cur, err := nsPerSimSec(fresh, n)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	if base <= 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: %s: non-positive baseline ns_per_sim_second %.0f\n", baseline, base)
+		os.Exit(2)
+	}
+	ratio := cur / base
+	if ratio > 1+maxRegress {
+		fmt.Fprintf(os.Stderr, "benchgate: scale n=%d regressed: %.0f ns/sim-s vs baseline %.0f (%.0f%% slower, max %.0f%%)\n",
+			n, cur, base, (ratio-1)*100, maxRegress*100)
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: scale n=%d within budget: %.0f ns/sim-s vs baseline %.0f (%+.0f%%, max +%.0f%%)\n",
+		n, cur, base, (ratio-1)*100, maxRegress*100)
+}
+
 func main() {
 	var (
-		match     = flag.String("match", "", "substring or regexp the benchmark name must match (required)")
+		match     = flag.String("match", "", "substring or regexp the benchmark name must match (required in allocation mode)")
 		maxAllocs = flag.Int64("max-allocs", 0, "maximum permitted allocs/op")
+
+		scaleBaseline = flag.String("scale-baseline", "", "committed BENCH_scale.json; selects regression mode")
+		scaleFresh    = flag.String("scale-fresh", "", "freshly generated BENCH_scale.json to gate (regression mode)")
+		scaleN        = flag.Int("scale-n", 1024, "container count whose row is compared (regression mode)")
+		maxRegress    = flag.Float64("max-regress", 0.25, "maximum permitted ns_per_sim_second regression as a fraction of baseline (regression mode)")
 	)
 	flag.Parse()
+	if *scaleBaseline != "" {
+		if *scaleFresh == "" {
+			fmt.Fprintln(os.Stderr, "benchgate: -scale-baseline requires -scale-fresh")
+			os.Exit(2)
+		}
+		gateScaleRegression(*scaleBaseline, *scaleFresh, *scaleN, *maxRegress)
+		return
+	}
 	if *match == "" {
 		fmt.Fprintln(os.Stderr, "benchgate: -match is required")
 		os.Exit(2)

@@ -35,6 +35,9 @@ var strictPkgs = map[string]bool{
 	"internal/sysns":      true,
 	"internal/faults":     true,
 	"internal/autoscaler": true,
+	"internal/cfs":        true,
+	"internal/cgroups":    true,
+	"internal/scalebench": true,
 }
 
 func main() {
