@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race bench bench-scale bench-serve bench-gate cover docs golden golden-check golden-parallel ci
+.PHONY: build vet test race bench bench-scale bench-serve bench-gate profile cover docs golden golden-check golden-parallel ci
 
 build:
 	$(GO) build ./...
@@ -44,18 +44,29 @@ bench-serve:
 # DESIGN.md §11), a steady-state cluster step — four host steps plus a
 # no-move rebalance round (DESIGN.md §12) — amortizes to zero, and a
 # converged autoscaler control round (DESIGN.md §13) reads, decides,
-# and holds without allocating. The final step is the wall-clock
-# regression gate (SCALING.md): a fresh best-of-3 n=1024 scalebench run
-# must stay within 25% of the committed BENCH_scale.json row. Part of
+# and holds without allocating. The final step is the regression gate
+# (SCALING.md): fresh best-of-3 scalebench runs at n=1024 and n=16384
+# must stay within 25% of the committed BENCH_scale.json rows on both
+# ns_per_sim_second and allocs_per_tick, so the large-n tail and the
+# alloc budget are gated alongside the mid-size wall number. Part of
 # `make ci`.
 bench-gate:
 	$(GO) test -run xxx -bench 'ScaleSteady|Snapshot|ClusterSteady|AutoscaleSteady' -benchmem -benchtime=20x . | tee bench-steady.txt
 	$(GO) run ./internal/tools/benchgate -match 'ScaleSteady|SnapshotRead|ClusterSteady|AutoscaleSteady' -max-allocs 0 bench-steady.txt
 	$(GO) run ./internal/tools/benchgate -match SnapshotPublish -max-allocs 3 bench-steady.txt
 	rm -f bench-steady.txt
-	$(GO) run ./cmd/arvbench -scalebench 1024 -scalebench-reps 3 -json bench-scale-fresh.json
-	$(GO) run ./internal/tools/benchgate -scale-baseline BENCH_scale.json -scale-fresh bench-scale-fresh.json -scale-n 1024 -max-regress 0.25
+	$(GO) run ./cmd/arvbench -scalebench 1024,16384 -scalebench-reps 3 -json bench-scale-fresh.json
+	$(GO) run ./internal/tools/benchgate -scale-baseline BENCH_scale.json -scale-fresh bench-scale-fresh.json -scale-n 1024,16384 -max-regress 0.25 -max-alloc-drift 0.25
 	rm -f bench-scale-fresh.json
+
+# CPU + heap profiles of the dominant scale point (pprof text top also
+# printed for a quick look). Adjust N for other sizes:
+#   make profile N=4096
+N ?= 16384
+profile:
+	$(GO) run ./cmd/arvbench -scalebench $(N) -cpuprofile cpu.pprof -memprofile mem.pprof
+	$(GO) tool pprof -top -nodecount 15 cpu.pprof
+	@echo "profiles written: cpu.pprof mem.pprof (go tool pprof -http=:8080 cpu.pprof)"
 
 # Coverage gate: the autoscaler closes a feedback loop against cgroup
 # limits, so its engine must stay near-fully covered by the behavioral,

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -157,8 +158,14 @@ func runScaleSuite(spec string, churn bool, interval, span time.Duration, reps i
 		}
 		report.SpanSec = res.SimSeconds
 		report.Runs = append(report.Runs, res)
-		fmt.Printf("scale n=%-5d churn=%-5v %10.1f ms wall  %12.0f ns/sim-s  %7d churns  %9d allocs (%.1f/tick)\n",
-			res.Containers, res.Churn, res.WallMS, res.NsPerSimSec, res.LimitChurns, res.Allocs, res.AllocsPerTick)
+		stale := res.TickRepairs + res.TickRebuilds
+		hit := 0.0
+		if stale > 0 {
+			hit = 100 * float64(res.TickRepairs) / float64(stale)
+		}
+		fmt.Printf("scale n=%-5d churn=%-5v %10.1f ms wall  %12.0f ns/sim-s  %7d churns  %9d allocs (%.1f/tick)  %6d repairs/%5d rebuilds (%.0f%% repaired, %d escalations)\n",
+			res.Containers, res.Churn, res.WallMS, res.NsPerSimSec, res.LimitChurns, res.Allocs, res.AllocsPerTick,
+			res.TickRepairs, res.TickRebuilds, hit, res.Escalations)
 	}
 	if jsonPath != "" {
 		buf, err := json.MarshalIndent(report, "", "  ")
@@ -193,8 +200,44 @@ func main() {
 
 		serveBench = flag.String("servebench", "", "run the serve-throughput benchmark for these reader counts (e.g. 1,2,4,8); -json then writes the BENCH_serve.json document")
 		serveDur   = flag.Duration("servebench-duration", 0, "wall-clock window per -servebench run (0 = default 150ms)")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile covering the selected -run/-scalebench/-servebench work to this file (go tool pprof)")
+		memProfile = flag.String("memprofile", "", "write a heap allocation profile taken after the selected work to this file (go tool pprof)")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "arvbench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "arvbench: starting CPU profile: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			fmt.Printf("[wrote %s]\n", *cpuProfile)
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "arvbench: -memprofile: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			runtime.GC() // settle heap stats so the profile reflects live + cumulative allocs
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "arvbench: writing heap profile: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("[wrote %s]\n", *memProfile)
+		}()
+	}
 
 	if *scaleBench != "" {
 		runScaleSuite(*scaleBench, *scaleChurn, *scaleInterval, *scaleSpan, *scaleReps, *jsonPath)

@@ -46,6 +46,20 @@
 // writing them directly on a live scheduler bypasses invalidation and is
 // reserved for building fixtures before the first Tick — mutate through
 // the Scheduler setters instead.
+//
+// # Incremental repair
+//
+// Schedulers built with Options.IncrementalRepair replace the binary
+// invalidate-and-rebuild memo protocol with dirty-set repair: mutators
+// mark the touched group in a dirty set, and the next Tick recomputes
+// caps, water fills, and accounting only for the dirty groups, the
+// affected parents, and the top level — O(changes + tops) instead of
+// O(groups) — escalating to one full rebuild when the dirty set grows
+// to a sizable fraction of the active set. Accounting for quiet groups
+// (active groups with no runnable OnTick task) is deferred and settled
+// on read, replaying the memoized per-tick deltas so every observable
+// value stays bit-identical to the eager protocol. See repair.go and
+// DESIGN.md §15.
 package cfs
 
 import (
@@ -108,13 +122,13 @@ type groupAcct struct {
 	throttledDur time.Duration    // wall time with the quota cap binding
 	perTask      float64          // rate / runnable tasks (leaves; 0 when idle)
 	over         float64          // oversubscription excess (leaves)
-	flags        uint8
+	flags        uint16
 }
 
 const (
 	// acctThrottled: a bandwidth limit (the group's own, or its
 	// parent's) capped the group's allocation in the most recent tick.
-	acctThrottled uint8 = 1 << iota
+	acctThrottled uint16 = 1 << iota
 	// acctDurBinding: the group's own limit is binding, so
 	// throttledDur accrues every tick while the allocation holds.
 	acctDurBinding
@@ -122,6 +136,33 @@ const (
 	// since the last tick; its throttle state must be re-evaluated
 	// (alloc provably unchanged, so no full rebuild is needed).
 	acctFlagsDirty
+	// The remaining bits are incremental-repair state (repair.go) and
+	// are maintained only on schedulers built with
+	// Options.IncrementalRepair.
+
+	// acctAllocDirty: the group is queued in Scheduler.dirty for
+	// allocation repair on the next tick.
+	acctAllocDirty
+	// acctActive: the group is a member of Scheduler.active.
+	acctActive
+	// acctEager: the group is a member of Scheduler.eagerIdx (active
+	// with at least one runnable OnTick task, so its accounting cannot
+	// be deferred).
+	acctEager
+	// acctTop: the group is a member of Scheduler.activeTop (top-level
+	// with a positive cap, i.e. a water-fill participant).
+	acctTop
+	// acctRefill: transient repair-phase mark — the parent's child fill
+	// is queued for recomputation this tick.
+	acctRefill
+	// acctAllocParked: the group's allocation inputs changed during a
+	// repair tick's own walk (an OnTick callback blocked or woke a
+	// task). The eager protocol absorbs such changes — its rebuild
+	// finishes with allocValid = true and the stale allocation stands
+	// until the next invalidation — so a parked mark does not trigger
+	// a repair by itself; it joins the dirty set of whatever repair
+	// tick runs next.
+	acctAllocParked
 )
 
 // Group is a scheduling control group (the cpu controller of a cgroup).
@@ -148,6 +189,13 @@ type Group struct {
 
 	tasks    []*Task
 	runnable int // live runnable-task count (kept by Scheduler.SetRunnable)
+	// runnableOnTick counts runnable tasks carrying an OnTick callback.
+	// Incremental repair keys eager-vs-deferred accounting on it: a
+	// group with zero runnable OnTick tasks can have its per-tick
+	// accrual replayed later, one with any cannot (the callback must
+	// fire every tick). Requires OnTick to be installed before the task
+	// is first made runnable; settleTo panics otherwise.
+	runnableOnTick int
 
 	parent   *Group
 	children []*Group
@@ -195,12 +243,16 @@ func (g *Group) CPULimit() float64 {
 }
 
 // Usage returns the group's total raw CPU consumption.
-func (g *Group) Usage() units.CPUSeconds { return g.acct().usage }
+func (g *Group) Usage() units.CPUSeconds {
+	g.settle()
+	return g.acct().usage
+}
 
 // TakeWindowUsage returns the raw CPU time consumed since the previous
 // call and resets the window. sys_namespace reads this once per update
 // period (the u_i term of Algorithm 1).
 func (g *Group) TakeWindowUsage() units.CPUSeconds {
+	g.settle()
 	a := g.acct()
 	u := a.windowUsage
 	a.windowUsage = 0
@@ -209,11 +261,17 @@ func (g *Group) TakeWindowUsage() units.CPUSeconds {
 
 // PeekWindowUsage returns the raw CPU time consumed since the last
 // TakeWindowUsage without resetting the window.
-func (g *Group) PeekWindowUsage() units.CPUSeconds { return g.acct().windowUsage }
+func (g *Group) PeekWindowUsage() units.CPUSeconds {
+	g.settle()
+	return g.acct().windowUsage
+}
 
 // ThrottledTime returns the cumulative wall time during which the group's
 // bandwidth limit capped its allocation.
-func (g *Group) ThrottledTime() time.Duration { return g.acct().throttledDur }
+func (g *Group) ThrottledTime() time.Duration {
+	g.settle()
+	return g.acct().throttledDur
+}
 
 // LastRate returns the CPU rate (in CPUs) the group received in the most
 // recent tick.
@@ -287,6 +345,43 @@ type Scheduler struct {
 	// scratch buffers reused across rebuilds to avoid allocation
 	scratchTop   []int
 	scratchChild []int
+
+	// Incremental-repair state (Options.IncrementalRepair; repair.go).
+	// All index lists are ascending schedIdx and kept exact across
+	// RemoveGroup compaction.
+	repair         bool
+	dirty          []int // groups queued for allocation repair (acctAllocDirty)
+	parked         []int // absorbed mid-walk marks (acctAllocParked)
+	pendingAbsorb  bool  // the eager protocol would rebuild on the next tick with no repair work queued
+	walkAbsorbs    bool  // the running walk matches an eager rebuild: mid-walk marks are absorbed (parked)
+	pendingTopFill bool  // top-level fill must rerun (active top membership changed)
+	pendingResum   bool  // slack/loadContrib sums must re-derive (an active group left)
+	activeTop      []int // top-level groups with cap > 0 (acctTop)
+	eagerIdx       []int // active groups with runnable OnTick tasks (acctEager)
+	gSettled       []uint64 // tick through which each group's accounting is settled
+	lastDt         time.Duration
+	lastDtSec      float64
+	// Mid-walk settle guard: during a tick's accounting walk, reads of a
+	// group the walk has not reached yet settle to the previous tick
+	// (its current-tick accrual happens when the walk reaches it),
+	// matching what the eager walk would expose at the same point.
+	inWalk  bool
+	walkPos int
+	// repair scratch, reused tick to tick
+	repairOld     []float64
+	repairChanged []int
+	repairParents []int
+	topAdds       []int
+	activeAdds    []int
+	eagerAdds     []int
+	activeRemoved bool
+	eagerRemoved  bool
+	topRemoved    bool
+	activeBuf     []int
+	eagerBuf      []int
+	topBuf        []int
+	nrSnapIdx     []int // leaves walked this repair tick (ascending)
+	nrSnapVal     []int // their runnable counts at visit time
 }
 
 // SubsystemName identifies the scheduler in telemetry and diagnostics;
@@ -361,8 +456,8 @@ func (s *Scheduler) SetShares(g *Group, shares int64) {
 	// Shares only weight the water fills a group with a positive cap
 	// participates in; reweighting a capless group cannot move any
 	// allocation.
-	if !s.allocValid || !g.removed && s.gCap[g.schedIdx] > 0 {
-		s.allocValid = false
+	if !g.removed && (!s.allocValid || s.gCap[g.schedIdx] > 0) {
+		s.noteAllocChange(g)
 	}
 }
 
@@ -380,7 +475,14 @@ func (s *Scheduler) SetShares(g *Group, shares int64) {
 func (s *Scheduler) SetQuota(g *Group, quotaUS, periodUS int64) {
 	if !s.allocValid || g.removed {
 		g.QuotaUS, g.PeriodUS = quotaUS, periodUS
-		s.allocValid = false
+		// A removed group cannot affect the allocation; under repair the
+		// memo stays valid (the eager protocol conservatively rebuilds,
+		// so absorbed marks go live to match that refresh).
+		if !g.removed || !s.repair {
+			s.allocValid = false
+		} else {
+			s.noteEagerRebuild()
+		}
 		return
 	}
 	limOld := g.CPULimit()
@@ -406,7 +508,7 @@ func (s *Scheduler) SetQuota(g *Group, quotaUS, periodUS int64) {
 		}
 		return
 	}
-	s.allocValid = false
+	s.noteAllocChange(g)
 }
 
 // SetCpuset writes the size of g's CPU affinity mask; 0 means "all host
@@ -415,7 +517,11 @@ func (s *Scheduler) SetQuota(g *Group, quotaUS, periodUS int64) {
 func (s *Scheduler) SetCpuset(g *Group, n int) {
 	if !s.allocValid || g.removed {
 		g.CpusetN = n
-		s.allocValid = false
+		if !g.removed || !s.repair {
+			s.allocValid = false
+		} else {
+			s.noteEagerRebuild()
+		}
 		return
 	}
 	capOld := s.gCap[g.schedIdx]
@@ -423,7 +529,7 @@ func (s *Scheduler) SetCpuset(g *Group, n int) {
 	// The mask size feeds only the cap; an unchanged cap means an
 	// unchanged allocation and unchanged throttle state.
 	if s.capOf(g) != capOld {
-		s.allocValid = false
+		s.noteAllocChange(g)
 	}
 }
 
@@ -482,7 +588,15 @@ func (s *Scheduler) NewGroup(name string) *Group {
 	s.groups = append(s.groups, g)
 	s.growHot()
 	s.topShares += g.Shares
-	s.allocValid = false
+	// A new group has no runnable tasks, so cap 0: it joins no fill and
+	// moves no allocation. Under repair the memo therefore stays valid,
+	// but marks absorbed during an earlier repair walk go live, because
+	// the rebuild this forces on the eager protocol refreshes them.
+	if s.repair {
+		s.noteEagerRebuild()
+	} else {
+		s.allocValid = false
+	}
 	return g
 }
 
@@ -512,7 +626,11 @@ func (s *Scheduler) NewChildGroup(parent *Group, name string) *Group {
 	parent.childShares += g.Shares
 	s.groups = append(s.groups, g)
 	s.growHot()
-	s.allocValid = false
+	if s.repair {
+		s.noteEagerRebuild()
+	} else {
+		s.allocValid = false
+	}
 	return g
 }
 
@@ -522,6 +640,7 @@ func (s *Scheduler) growHot() {
 	s.gCap = append(s.gCap, 0)
 	s.gRate = append(s.gRate, 0)
 	s.gAcct = append(s.gAcct, groupAcct{})
+	s.gSettled = append(s.gSettled, s.ticks)
 }
 
 // RemoveGroup unregisters a group, its tasks, and (for a parent) its
@@ -529,6 +648,30 @@ func (s *Scheduler) growHot() {
 func (s *Scheduler) RemoveGroup(g *Group) {
 	for _, c := range append([]*Group(nil), g.children...) {
 		s.RemoveGroup(c)
+	}
+	if s.repair {
+		// Freeze fully settled accounting, and queue the repair the
+		// removal causes before the group's bookkeeping disappears. The
+		// eager protocol rebuilds after every removal, so absorbed marks
+		// go live.
+		s.settleTo(g.schedIdx, s.ticks)
+		if s.allocValid {
+			s.noteEagerRebuild()
+			if s.gRate[g.schedIdx] > 0 {
+				// An active group leaves: the slack and load-contribution
+				// ordered sums must re-derive even if no surviving rate
+				// moves (e.g. everyone else already sits at cap).
+				s.pendingResum = true
+			}
+			if g.parent != nil && !g.parent.removed {
+				s.noteAllocChange(g.parent)
+			} else if g.parent == nil && s.gAcct[g.schedIdx].flags&acctTop != 0 {
+				// An active top-level group leaves the fill: its grant
+				// must be redistributed even though no surviving group
+				// was touched.
+				s.pendingTopFill = true
+			}
+		}
 	}
 	g.final = s.gAcct[g.schedIdx]
 	g.finalRate = s.gRate[g.schedIdx]
@@ -542,6 +685,7 @@ func (s *Scheduler) RemoveGroup(g *Group) {
 	}
 	g.tasks = nil
 	g.runnable = 0
+	g.runnableOnTick = 0
 	if g.parent != nil {
 		g.parent.childShares -= g.Shares
 		for i, x := range g.parent.children {
@@ -558,8 +702,21 @@ func (s *Scheduler) RemoveGroup(g *Group) {
 	s.gCap = append(s.gCap[:i], s.gCap[i+1:]...)
 	s.gRate = append(s.gRate[:i], s.gRate[i+1:]...)
 	s.gAcct = append(s.gAcct[:i], s.gAcct[i+1:]...)
+	s.gSettled = append(s.gSettled[:i], s.gSettled[i+1:]...)
 	for j := i; j < len(s.groups); j++ {
 		s.groups[j].schedIdx = j
+	}
+	if s.repair {
+		// The index lists stay exact: drop the removed slot and shift
+		// the entries the compaction moved.
+		s.active = patchIdxList(s.active, i)
+		s.throttledIdx = patchIdxList(s.throttledIdx, i)
+		s.flagsDirty = patchIdxList(s.flagsDirty, i)
+		s.dirty = patchIdxList(s.dirty, i)
+		s.parked = patchIdxList(s.parked, i)
+		s.activeTop = patchIdxList(s.activeTop, i)
+		s.eagerIdx = patchIdxList(s.eagerIdx, i)
+		return
 	}
 	s.allocValid = false
 	s.listsValid = false
@@ -583,9 +740,17 @@ func (s *Scheduler) NewTask(g *Group, name string) *Task {
 func (s *Scheduler) RemoveTask(t *Task) {
 	t.removed = true
 	if t.runnable {
+		if s.repair {
+			// Account the task's deferred ticks before it leaves the
+			// replay set.
+			s.settleLive(t.group.schedIdx)
+		}
 		s.runnableNow--
 		t.group.runnable--
-		s.allocValid = false
+		if t.OnTick != nil {
+			t.group.runnableOnTick--
+		}
+		s.noteAllocChange(t.group)
 	}
 	t.runnable = false
 	g := t.group
@@ -605,15 +770,26 @@ func (s *Scheduler) SetRunnable(t *Task, runnable bool) {
 	if t.runnable == runnable {
 		return
 	}
+	if s.repair {
+		// Settle at the old rate and runnable count before the flip: the
+		// deferred ticks all ran under them.
+		s.settleLive(t.group.schedIdx)
+	}
 	t.runnable = runnable
 	if runnable {
 		s.runnableNow++
 		t.group.runnable++
+		if t.OnTick != nil {
+			t.group.runnableOnTick++
+		}
 	} else {
 		s.runnableNow--
 		t.group.runnable--
+		if t.OnTick != nil {
+			t.group.runnableOnTick--
+		}
 	}
-	s.allocValid = false
+	s.noteAllocChange(t.group)
 }
 
 // RunnableNow returns the live count of runnable tasks — unlike
@@ -679,14 +855,56 @@ func waterfill(groups []*Group, caps, alloc []float64, active []int, capacity fl
 // groups only; otherwise the full recompute runs, with results
 // bit-identical to recomputing every tick.
 func (s *Scheduler) Tick(now sim.Time, dt time.Duration) {
+	if s.repair && dt != s.lastDt {
+		// The deferred-accounting replay assumes a constant tick length;
+		// a change (hosts never do this, direct drivers may) settles
+		// everything at the old length first.
+		if s.lastDt != 0 {
+			s.settleAllTo(s.ticks)
+		}
+		s.lastDt, s.lastDtSec = dt, dt.Seconds()
+	}
 	s.ticks++
 	s.Trace.Add(telemetry.CtrSchedTicks, 1)
 	dtSec := dt.Seconds()
 
-	if s.allocValid {
-		s.fastTick(now, dt, dtSec)
-	} else {
+	switch {
+	case !s.repair:
+		if s.allocValid {
+			s.fastTick(now, dt, dtSec)
+		} else {
+			s.Trace.Add(telemetry.CtrTickRebuilds, 1)
+			s.rebuildTick(now, dt, dtSec)
+		}
+	case s.allocValid && len(s.dirty) == 0 && !s.pendingTopFill && !s.pendingResum:
+		// A quiet tick absorbs mid-walk marks only when the eager
+		// protocol would be rebuilding right now (pendingAbsorb: a
+		// group was created, or removed-group state written, since the
+		// last tick) — that rebuild swallows mid-walk state changes.
+		s.walkAbsorbs = s.pendingAbsorb
+		s.pendingAbsorb = false
+		s.quietTick(now, dt, dtSec)
+		s.walkAbsorbs = false
+	case s.allocValid && !s.escalate():
+		s.Trace.Add(telemetry.CtrTickRepairs, 1)
+		s.pendingAbsorb = false
+		s.walkAbsorbs = true
+		s.repairTick(now, dt, dtSec)
+		s.walkAbsorbs = false
+	default:
+		if s.allocValid {
+			s.Trace.Add(telemetry.CtrRepairEscalations, 1)
+		}
+		s.Trace.Add(telemetry.CtrTickRebuilds, 1)
+		s.settleAllTo(s.ticks - 1)
+		// Reset before the walk: pre-existing marks are refreshed by
+		// the rebuild itself, while marks its OnTick callbacks make
+		// mid-walk must survive as parked.
+		s.resetRepairState()
+		s.pendingAbsorb = false
+		s.walkAbsorbs = true
 		s.rebuildTick(now, dt, dtSec)
+		s.walkAbsorbs = false
 	}
 
 	s.slackWindow += units.CPUSeconds(s.slackLast * dtSec)
@@ -708,46 +926,8 @@ func (s *Scheduler) fastTick(now sim.Time, dt time.Duration, dtSec float64) {
 	groups := s.groups
 	contribDirty := false
 	for _, i := range s.active {
-		g := groups[i]
-		a := &s.gAcct[i]
-		rate := s.gRate[i]
-		raw := units.CPUSeconds(rate * dtSec)
-		a.usage += raw
-		a.windowUsage += raw
-		if a.flags&acctFlagsDirty != 0 {
-			if s.refreshThrottle(now, i, g, rate, dt) {
-				contribDirty = true
-			}
-		} else if a.flags&acctDurBinding != 0 {
-			a.throttledDur += dt
-		}
-		if a.perTask == 0 {
-			// Parent group, or a leaf with no runnable tasks.
-			continue
-		}
-		perTask, over := a.perTask, a.over
-		// Snapshot: OnTick may append tasks for future ticks.
-		tasks := g.tasks
-		for _, t := range tasks {
-			if !t.runnable {
-				continue
-			}
-			t.LastRate = perTask
-			rawT := units.CPUSeconds(perTask * dtSec)
-			t.Usage += rawT
-			if t.OnTick != nil {
-				eff := 1.0
-				if over > 0 {
-					gamma := g.Gamma
-					if t.Gamma > 0 {
-						gamma = t.Gamma
-					}
-					if gamma > 0 {
-						eff = 1 / (1 + gamma*over)
-					}
-				}
-				t.OnTick(now, units.CPUSeconds(float64(rawT)*eff), rawT)
-			}
+		if s.tickGroup(now, i, groups[i], dt, dtSec) {
+			contribDirty = true
 		}
 	}
 	if len(s.flagsDirty) > 0 {
@@ -757,25 +937,78 @@ func (s *Scheduler) fastTick(now sim.Time, dt time.Duration, dtSec float64) {
 		s.flagsDirty = s.flagsDirty[:0]
 	}
 	if contribDirty {
-		// A throttle flag moved on a leaf: re-derive the load
-		// contribution as the same ascending ordered sum the rebuild
-		// computes, so the filter input stays bit-identical.
-		contrib := 0.0
-		for _, i := range s.active {
-			g := groups[i]
-			if len(g.children) > 0 {
-				continue
-			}
-			rate := s.gRate[i]
-			nr := g.runnable
-			if s.gAcct[i].flags&acctThrottled != 0 && float64(nr) > rate {
-				contrib += rate
-			} else {
-				contrib += float64(nr)
-			}
-		}
-		s.loadContrib = contrib
+		s.recomputeLoadContrib()
 	}
+}
+
+// tickGroup advances one active group's accounting by one tick at the
+// memoized allocation: usage accrual, throttle upkeep, and the runnable
+// tasks' rates, usage, and OnTick callbacks. It reports whether a leaf
+// throttle flag moved (which changes the load contribution).
+func (s *Scheduler) tickGroup(now sim.Time, i int, g *Group, dt time.Duration, dtSec float64) bool {
+	contribDirty := false
+	a := &s.gAcct[i]
+	rate := s.gRate[i]
+	raw := units.CPUSeconds(rate * dtSec)
+	a.usage += raw
+	a.windowUsage += raw
+	if a.flags&acctFlagsDirty != 0 {
+		if s.refreshThrottle(now, i, g, rate, dt) {
+			contribDirty = true
+		}
+	} else if a.flags&acctDurBinding != 0 {
+		a.throttledDur += dt
+	}
+	if a.perTask == 0 {
+		// Parent group, or a leaf with no runnable tasks.
+		return contribDirty
+	}
+	perTask, over := a.perTask, a.over
+	// Snapshot: OnTick may append tasks for future ticks.
+	tasks := g.tasks
+	for _, t := range tasks {
+		if !t.runnable {
+			continue
+		}
+		t.LastRate = perTask
+		rawT := units.CPUSeconds(perTask * dtSec)
+		t.Usage += rawT
+		if t.OnTick != nil {
+			eff := 1.0
+			if over > 0 {
+				gamma := g.Gamma
+				if t.Gamma > 0 {
+					gamma = t.Gamma
+				}
+				if gamma > 0 {
+					eff = 1 / (1 + gamma*over)
+				}
+			}
+			t.OnTick(now, units.CPUSeconds(float64(rawT)*eff), rawT)
+		}
+	}
+	return contribDirty
+}
+
+// recomputeLoadContrib re-derives the load contribution as the same
+// ascending ordered sum the rebuild computes, so the filter input stays
+// bit-identical.
+func (s *Scheduler) recomputeLoadContrib() {
+	contrib := 0.0
+	for _, i := range s.active {
+		g := s.groups[i]
+		if len(g.children) > 0 {
+			continue
+		}
+		rate := s.gRate[i]
+		nr := g.runnable
+		if s.gAcct[i].flags&acctThrottled != 0 && float64(nr) > rate {
+			contrib += rate
+		} else {
+			contrib += float64(nr)
+		}
+	}
+	s.loadContrib = contrib
 }
 
 // refreshThrottle re-evaluates an active group's throttle state after a
@@ -823,6 +1056,12 @@ func (s *Scheduler) noteThrottleTracked(now sim.Time, i int, g *Group, throttled
 	s.noteThrottle(now, i, g, throttled, rate)
 	if throttled && !was && s.listsValid {
 		s.throttledIdx = append(s.throttledIdx, i)
+		if len(s.throttledIdx) > len(s.groups) {
+			// More entries than groups means duplicates from repeated
+			// transitions (under repair, rebuilds may never reset the
+			// list): compact to the currently flagged set.
+			s.compactThrottledIdx()
+		}
 	}
 }
 
@@ -886,6 +1125,11 @@ func (s *Scheduler) rebuildTick(now sim.Time, dt time.Duration, dtSec float64) {
 			top = append(top, i)
 		}
 	}
+	if s.repair {
+		// Snapshot the fill participants before waterfill consumes the
+		// list in place: repair ticks refill over this set.
+		s.activeTop = append(s.activeTop[:0], top...)
+	}
 	waterfill(s.groups, caps, alloc, top, float64(s.ncpu))
 
 	// Second level: each parent's grant is filled among its children.
@@ -904,6 +1148,10 @@ func (s *Scheduler) rebuildTick(now sim.Time, dt time.Duration, dtSec float64) {
 
 	s.active = s.active[:0]
 	s.throttledIdx = s.throttledIdx[:0]
+	if s.repair {
+		s.eagerIdx = s.eagerIdx[:0]
+		s.inWalk = true
+	}
 	var used float64
 	loadContribution := 0.0
 	for i, g := range s.groups {
@@ -911,6 +1159,17 @@ func (s *Scheduler) rebuildTick(now sim.Time, dt time.Duration, dtSec float64) {
 		a := &s.gAcct[i]
 		a.perTask, a.over = 0, 0
 		a.flags &^= acctFlagsDirty
+		if s.repair {
+			s.walkPos = i
+			s.gSettled[i] = s.ticks
+			a.setFlag(acctActive, rate > 0)
+			a.setFlag(acctTop, g.parent == nil && caps[i] > 0)
+			// Eager membership is settled after the task walk below: an
+			// OnTick callback may block the group's last OnTick task,
+			// and a group that ends the tick without any must be
+			// deferrable.
+			a.setFlag(acctEager, false)
+		}
 		if len(g.children) > 0 {
 			// Parent accounting only; its children execute the tasks.
 			thr := false
@@ -1003,6 +1262,10 @@ func (s *Scheduler) rebuildTick(now sim.Time, dt time.Duration, dtSec float64) {
 				t.OnTick(now, units.CPUSeconds(float64(rawT)*eff), rawT)
 			}
 		}
+		if s.repair && g.runnableOnTick > 0 {
+			a.setFlag(acctEager, true)
+			s.eagerIdx = append(s.eagerIdx, i)
+		}
 	}
 	s.loadContrib = loadContribution
 
@@ -1017,9 +1280,10 @@ func (s *Scheduler) rebuildTick(now sim.Time, dt time.Duration, dtSec float64) {
 	s.flagsDirty = s.flagsDirty[:0]
 	s.allocValid = true
 	s.listsValid = true
+	s.inWalk = false
 }
 
-func (a *groupAcct) setFlag(bit uint8, on bool) {
+func (a *groupAcct) setFlag(bit uint16, on bool) {
 	if on {
 		a.flags |= bit
 	} else {
@@ -1064,11 +1328,19 @@ func (s *Scheduler) SkipIdle(now sim.Time, dt time.Duration, n int) {
 	if s.runnableNow != 0 {
 		panic(fmt.Sprintf("cfs: SkipIdle with %d runnable tasks", s.runnableNow))
 	}
+	if s.repair {
+		// Settle any deferred accounting at the pre-skip rates; the
+		// skipped span itself accrues nothing (all rates are zero).
+		s.settleAllTo(s.ticks)
+	}
 	s.ticks += uint64(n)
 	s.totalRunnable = 0
 	for i, g := range s.groups {
 		s.gRate[i] = 0
 		s.noteThrottle(now, i, g, false, 0)
+		if s.repair {
+			s.gSettled[i] = s.ticks
+		}
 	}
 	s.allocValid = false
 	dtSec := dt.Seconds()

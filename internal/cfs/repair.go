@@ -1,0 +1,850 @@
+// Incremental tick-allocation repair (Options.IncrementalRepair).
+//
+// The eager memo protocol in cfs.go is binary: any allocation-affecting
+// mutation invalidates the whole memo and the next Tick rebuilds caps,
+// both water-fill levels, and accounting for every group — O(groups)
+// even when one group changed. Repair mode replaces the invalidate bit
+// with a dirty set and splits Tick into three regimes:
+//
+//   - quietTick: nothing dirty. Only the eager groups (active groups
+//     with runnable OnTick tasks, whose callbacks must fire every tick)
+//     and any flag-dirty groups are walked. All other active groups'
+//     accounting is deferred: gSettled[i] records the tick through
+//     which group i is settled, and settleTo replays the missing ticks
+//     at the memoized rates on the next read or repair. The replay
+//     performs the same per-tick float additions the eager walk would
+//     have, so results are bit-identical, and costs nothing until
+//     someone looks.
+//
+//   - repairTick: a bounded dirty set. Caps are recomputed for dirty
+//     groups only, affected parents re-sum their child caps in child
+//     order (the same ordered float sum the rebuild computes), the
+//     top-level water fill reruns over the incrementally maintained
+//     activeTop list only when a top-level cap, weight, or membership
+//     moved, and only parents whose grant or limits moved refill their
+//     children. Accounting then advances for the union of touched,
+//     eager, and flag-dirty groups in one ascending walk — the same
+//     relative order the full rebuild uses — and the active/eager
+//     membership lists are patched by ordered merge. Because the load
+//     contribution and slack are ordered sums over the active leaves,
+//     any touched leaf triggers an O(active) ordered re-sum: repair is
+//     O(changes + tops + active), not O(groups + tasks).
+//
+//   - escalation: when the dirty set reaches both an absolute floor and
+//     half the active set, one full rebuildTick (after settling all
+//     deferred accounting) re-derives everything and re-seeds the
+//     repair lists — pathological churn degrades gracefully to the
+//     eager cost, mirroring sysns's batched-recompute escalation.
+//
+// Equivalence with the eager protocol is not asserted, it is tested:
+// repair_test.go drives mirrored schedulers through randomized op
+// sequences and compares the full observable state every tick, and the
+// integration differential test does the same under the fault mix.
+package cfs
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"arv/internal/sim"
+	"arv/internal/units"
+)
+
+// Options configures optional Scheduler behavior. The zero value is the
+// default eager configuration NewScheduler uses.
+type Options struct {
+	// IncrementalRepair enables dirty-set allocation repair with
+	// deferred (settle-on-read) accounting for quiet groups; see the
+	// package comment. Every observable value — rates, caps, usage,
+	// throttle state, load average, slack — stays bit-identical to the
+	// eager protocol.
+	//
+	// Contract: a task's OnTick callback must be installed before the
+	// task is first made runnable (all in-tree workloads do), so the
+	// scheduler knows which groups cannot defer accounting; settleTo
+	// panics on violations. Mid-tick cross-group wakes made by an
+	// OnTick callback take effect the next tick, where the eager walk
+	// would expose them to groups later in the same walk; no in-tree
+	// workload wakes tasks outside its own group mid-tick.
+	IncrementalRepair bool
+}
+
+// NewSchedulerOpts returns a scheduler for a host with ncpu cores,
+// configured by opts. NewScheduler(n) is NewSchedulerOpts(n, Options{}).
+func NewSchedulerOpts(ncpu int, opts Options) *Scheduler {
+	s := NewScheduler(ncpu)
+	s.repair = opts.IncrementalRepair
+	return s
+}
+
+// repairEscalateMin is the dirty-set floor below which a repair never
+// escalates: a handful of dirty groups on a mostly idle host repairs in
+// O(tops) regardless of how small the active set is.
+const repairEscalateMin = 64
+
+// escalate reports whether the dirty set has grown past the point where
+// one full rebuild is cheaper than repairing group by group.
+func (s *Scheduler) escalate() bool {
+	return len(s.dirty) >= repairEscalateMin && 2*len(s.dirty) >= len(s.active)
+}
+
+// noteAllocChange records that g's allocation inputs changed: the eager
+// protocol invalidates the whole memo, repair queues g in the dirty set
+// (unless a full rebuild is already pending).
+//
+// A change made from inside a walk that matches an eager rebuild
+// (walkAbsorbs — see the Tick dispatch) is parked instead of queued
+// live: the eager rebuild finishes with allocValid = true, so the
+// change stands absorbed until the next invalidation, and the repair
+// protocol must leave the same staleness in place to stay
+// bit-identical.
+func (s *Scheduler) noteAllocChange(g *Group) {
+	if !s.repair {
+		s.allocValid = false
+		return
+	}
+	i := g.schedIdx
+	a := &s.gAcct[i]
+	if a.flags&acctAllocDirty != 0 {
+		return
+	}
+	if s.inWalk && s.walkAbsorbs {
+		if a.flags&acctAllocParked == 0 {
+			a.flags |= acctAllocParked
+			s.parked = append(s.parked, i)
+		}
+		return
+	}
+	if !s.allocValid {
+		return
+	}
+	// A live mark on a parked group promotes it: the mutation forces a
+	// repair now. The stale parked-list entry is deduplicated by
+	// repairTick's sort pass.
+	a.flags |= acctAllocDirty
+	s.dirty = append(s.dirty, i)
+}
+
+// noteEagerRebuild records a mutation that forces the eager protocol to
+// rebuild without changing any allocation input (group creation, writes
+// to removed groups, removal of an inactive group). The repair memo
+// stays valid, but absorbed (parked) marks go live — the forced rebuild
+// refreshes them on the eager side — and the next quiet tick absorbs
+// mid-walk marks the way that rebuild would.
+func (s *Scheduler) noteEagerRebuild() {
+	s.pendingAbsorb = true
+	s.promoteParked()
+}
+
+// promoteParked turns absorbed marks into live ones. Mutators that
+// invalidate the eager protocol without changing any allocation input
+// (group creation, writes to removed groups, removal of an inactive
+// group) keep the repair memo valid — but the eager rebuild they force
+// refreshes state absorbed during an earlier repair walk, so the next
+// repair tick must refresh it too.
+func (s *Scheduler) promoteParked() {
+	if len(s.parked) == 0 {
+		return
+	}
+	for _, i := range s.parked {
+		a := &s.gAcct[i]
+		a.flags &^= acctAllocParked
+		if a.flags&acctAllocDirty == 0 {
+			a.flags |= acctAllocDirty
+			s.dirty = append(s.dirty, i)
+		}
+	}
+	s.parked = s.parked[:0]
+}
+
+// resetRepairState drops the dirty set after a full rebuild re-derived
+// everything it tracked.
+func (s *Scheduler) resetRepairState() {
+	for _, i := range s.dirty {
+		s.gAcct[i].flags &^= acctAllocDirty
+	}
+	s.dirty = s.dirty[:0]
+	for _, i := range s.parked {
+		s.gAcct[i].flags &^= acctAllocParked
+	}
+	s.parked = s.parked[:0]
+	s.pendingTopFill = false
+	s.pendingResum = false
+}
+
+// settle brings the group's deferred accounting current before a read.
+// No-op outside repair mode and for removed groups (whose accounting
+// was settled when they were frozen).
+func (g *Group) settle() {
+	if g.removed || g.sched == nil || !g.sched.repair {
+		return
+	}
+	g.sched.settleLive(g.schedIdx)
+}
+
+// settleLive settles group i to the present: through the current tick,
+// or through the previous tick when the current tick's walk has not
+// reached i yet (its accrual for this tick happens when the walk gets
+// there, exactly as the eager walk would expose it).
+func (s *Scheduler) settleLive(i int) {
+	target := s.ticks
+	if s.inWalk && i > s.walkPos {
+		target--
+	}
+	s.settleTo(i, target)
+}
+
+// settleTo replays group i's deferred per-tick accounting deltas up to
+// and including tick target: usage and window accrual at the memoized
+// rate, throttled time while the limit is binding, and the runnable
+// tasks' rates and usage. The replay repeats the identical per-tick
+// additions the eager walk performs, so the results are bit-identical.
+func (s *Scheduler) settleTo(i int, target uint64) {
+	done := s.gSettled[i]
+	if done >= target {
+		return
+	}
+	k := target - done
+	s.gSettled[i] = target
+	rate := s.gRate[i]
+	if rate <= 0 {
+		return
+	}
+	a := &s.gAcct[i]
+	raw := units.CPUSeconds(rate * s.lastDtSec)
+	for j := uint64(0); j < k; j++ {
+		a.usage += raw
+		a.windowUsage += raw
+	}
+	if a.flags&acctDurBinding != 0 {
+		a.throttledDur += time.Duration(k) * s.lastDt
+	}
+	if a.perTask == 0 {
+		return
+	}
+	perTask := a.perTask
+	rawT := units.CPUSeconds(perTask * s.lastDtSec)
+	for _, t := range s.groups[i].tasks {
+		if !t.runnable {
+			continue
+		}
+		if t.OnTick != nil {
+			panic("cfs: OnTick installed after SetRunnable under IncrementalRepair (install OnTick before making the task runnable)")
+		}
+		t.LastRate = perTask
+		for j := uint64(0); j < k; j++ {
+			t.Usage += rawT
+		}
+	}
+}
+
+// settleAllTo settles every group to target (before a full rebuild or
+// an idle skip).
+func (s *Scheduler) settleAllTo(target uint64) {
+	for i := range s.groups {
+		s.settleTo(i, target)
+	}
+}
+
+// quietTick is repair mode's steady-state tick: nothing is dirty, so
+// only the eager groups (whose OnTick callbacks must fire) and any
+// flag-dirty groups are walked, merged in ascending slot order. All
+// other accounting is deferred to settleTo.
+func (s *Scheduler) quietTick(now sim.Time, dt time.Duration, dtSec float64) {
+	if len(s.flagsDirty) > 1 {
+		sort.Ints(s.flagsDirty)
+	}
+	absorb := s.walkAbsorbs
+	if absorb {
+		// The eager protocol is rebuilding this very tick (a group was
+		// created, or removed-group state written): its rebuild re-reads
+		// the runnable total before the walk and accumulates the load
+		// contribution at walk time. Mirror both, so a mid-walk OnTick
+		// block lands in this tick's observables identically.
+		s.totalRunnable = s.runnableNow
+		s.nrSnapIdx = s.nrSnapIdx[:0]
+		s.nrSnapVal = s.nrSnapVal[:0]
+	}
+	contribDirty := false
+	s.inWalk = true
+	ei, fi := 0, 0
+	for ei < len(s.eagerIdx) || fi < len(s.flagsDirty) {
+		var i int
+		eager := false
+		switch {
+		case fi >= len(s.flagsDirty):
+			i, eager = s.eagerIdx[ei], true
+			ei++
+		case ei >= len(s.eagerIdx):
+			i = s.flagsDirty[fi]
+			fi++
+		case s.eagerIdx[ei] <= s.flagsDirty[fi]:
+			i, eager = s.eagerIdx[ei], true
+			if s.flagsDirty[fi] == i {
+				fi++
+			}
+			ei++
+		default:
+			i = s.flagsDirty[fi]
+			fi++
+		}
+		s.walkPos = i
+		g := s.groups[i]
+		if eager {
+			if absorb {
+				s.snapNr(i, g.runnable)
+			}
+			// Stamp before the walk body: tickGroup accrues this tick
+			// eagerly, and its OnTick callbacks may trigger settles of
+			// this very group (e.g. a self-block).
+			s.gSettled[i] = s.ticks
+			// tickGroup re-evaluates an acctFlagsDirty mark inline.
+			if s.tickGroup(now, i, g, dt, dtSec) {
+				contribDirty = true
+			}
+			continue
+		}
+		if s.refreshQuiet(now, i, g, dt, dtSec) {
+			contribDirty = true
+		}
+	}
+	s.inWalk = false
+	if len(s.flagsDirty) > 0 {
+		for _, i := range s.flagsDirty {
+			s.gAcct[i].flags &^= acctFlagsDirty
+		}
+		s.flagsDirty = s.flagsDirty[:0]
+	}
+	if contribDirty {
+		if absorb {
+			s.recomputeLoadContribSnap()
+		} else {
+			s.recomputeLoadContrib()
+		}
+	}
+}
+
+// refreshQuiet re-evaluates a flag-dirty quiet group mid-walk: settle
+// its deferred ticks, accrue the current tick, and re-run the throttle
+// evaluation exactly as the eager fast path would. Inactive groups need
+// nothing (the eager path drops their mark unexamined too). Reports
+// whether a leaf throttle flag moved.
+func (s *Scheduler) refreshQuiet(now sim.Time, i int, g *Group, dt time.Duration, dtSec float64) bool {
+	rate := s.gRate[i]
+	if rate <= 0 {
+		return false
+	}
+	s.settleTo(i, s.ticks-1)
+	a := &s.gAcct[i]
+	raw := units.CPUSeconds(rate * dtSec)
+	a.usage += raw
+	a.windowUsage += raw
+	moved := s.refreshThrottle(now, i, g, rate, dt)
+	if a.perTask != 0 {
+		perTask := a.perTask
+		rawT := units.CPUSeconds(perTask * dtSec)
+		// Quiet groups hold no runnable OnTick tasks (they would be
+		// eager), so this is pure accrual.
+		for _, t := range g.tasks {
+			if !t.runnable {
+				continue
+			}
+			t.LastRate = perTask
+			t.Usage += rawT
+		}
+	}
+	s.gSettled[i] = s.ticks
+	return moved
+}
+
+// repairTick recomputes the allocation for the dirty groups only and
+// advances this tick's accounting for every group the recompute (or an
+// OnTick obligation, or a pending flag refresh) touches.
+func (s *Scheduler) repairTick(now sim.Time, dt time.Duration, dtSec float64) {
+	prev := s.ticks - 1
+	s.totalRunnable = s.runnableNow
+	// Parked marks (mutations absorbed during an earlier repair walk)
+	// join this tick's repair, exactly as the eager protocol's next
+	// full rebuild picks up state it absorbed mid-walk.
+	for _, i := range s.parked {
+		s.gAcct[i].flags &^= acctAllocParked
+	}
+	s.dirty = append(s.dirty, s.parked...)
+	s.parked = s.parked[:0]
+	sort.Ints(s.dirty)
+	// A parked group promoted by a later mutation appears twice.
+	dd := s.dirty[:0]
+	for k, i := range s.dirty {
+		if k == 0 || i != dd[len(dd)-1] {
+			dd = append(dd, i)
+		}
+	}
+	s.dirty = dd
+	// The dirty set is stable for the rest of the tick: marks made by
+	// OnTick callbacks during the walk are parked by noteAllocChange
+	// (walkAbsorbs), never appended here.
+	dirty := s.dirty
+	s.repairChanged = s.repairChanged[:0]
+	topFill := s.pendingTopFill
+	s.pendingTopFill = false
+
+	// Phase 1: recompute dirty caps (leaves, then affected parents in
+	// ascending order, so parent sums see fresh child caps) and queue
+	// child refills. Any dirty top-level group can reweight or re-cap
+	// the top fill; so can a parent whose summed cap moved.
+	parents := s.repairParents[:0]
+	s.topAdds = s.topAdds[:0]
+	s.topRemoved = false
+	for _, i := range dirty {
+		g := s.groups[i]
+		a := &s.gAcct[i]
+		// Consume the mark now: a re-mark from an OnTick callback later
+		// this tick must enqueue a fresh repair.
+		a.flags &^= acctAllocDirty
+		s.settleTo(i, prev)
+		if g.parent == nil {
+			topFill = true
+		}
+		if len(g.children) > 0 {
+			if a.flags&acctRefill == 0 {
+				a.flags |= acctRefill
+				parents = append(parents, i)
+			}
+			continue
+		}
+		s.gCap[i] = s.capOf(g)
+		if g.parent != nil {
+			p := g.parent.schedIdx
+			pa := &s.gAcct[p]
+			if pa.flags&acctRefill == 0 {
+				pa.flags |= acctRefill
+				parents = append(parents, p)
+			}
+		} else {
+			s.noteTopMembership(i)
+		}
+	}
+	sort.Ints(parents)
+	for _, p := range parents {
+		g := s.groups[p]
+		s.settleTo(p, prev)
+		old := s.gCap[p]
+		s.gCap[p] = s.capOf(g)
+		if s.gCap[p] != old {
+			topFill = true
+		}
+		s.noteTopMembership(p)
+	}
+	if len(s.topAdds) > 0 || s.topRemoved {
+		if len(s.topAdds) > 1 {
+			sort.Ints(s.topAdds)
+		}
+		s.activeTop, s.topBuf = mergeIdx(s.activeTop, s.topAdds, s.gAcct, acctTop, s.topBuf)
+		topFill = true
+	}
+
+	// Phase 2: rerun the top-level water fill when needed. The fill is
+	// global — a local cap change can move many rates — so every
+	// participant's old rate is diffed to find the changed set.
+	if topFill {
+		old := s.repairOld[:0]
+		for _, i := range s.activeTop {
+			s.settleTo(i, prev)
+			old = append(old, s.gRate[i])
+			s.gRate[i] = 0
+		}
+		tops := append(s.scratchTop[:0], s.activeTop...)
+		waterfill(s.groups, s.gCap, s.gRate, tops, float64(s.ncpu))
+		for k, i := range s.activeTop {
+			if s.gRate[i] != old[k] {
+				s.repairChanged = append(s.repairChanged, i)
+			}
+		}
+		s.repairOld = old
+	}
+
+	// Phase 3: refill the children of every queued or rate-changed
+	// parent, in the same child order the rebuild fills. All children
+	// of a refilled parent count as touched: the parent's limit or
+	// grant moved, which can flip a child's throttle state without
+	// moving the child's own rate.
+	for _, i := range s.repairChanged {
+		if len(s.groups[i].children) == 0 {
+			continue
+		}
+		a := &s.gAcct[i]
+		if a.flags&acctRefill == 0 {
+			a.flags |= acctRefill
+			parents = append(parents, i)
+		}
+	}
+	sort.Ints(parents)
+	for _, p := range parents {
+		s.gAcct[p].flags &^= acctRefill
+		g := s.groups[p]
+		grant := s.gRate[p]
+		childActive := s.scratchChild[:0]
+		for _, c := range g.children {
+			ci := c.schedIdx
+			s.settleTo(ci, prev)
+			s.gRate[ci] = 0
+			if s.gCap[ci] > 0 {
+				childActive = append(childActive, ci)
+			}
+			s.repairChanged = append(s.repairChanged, ci)
+		}
+		if grant > 0 {
+			waterfill(s.groups, s.gCap, s.gRate, childActive, grant)
+		}
+	}
+	s.repairParents = parents[:0]
+
+	// Phase 4: one ascending accounting walk over the union of touched
+	// (dirty ∪ changed), eager, and flag-dirty groups — the relative
+	// order the full rebuild would process them in.
+	changed := s.repairChanged
+	sort.Ints(changed)
+	if len(s.flagsDirty) > 1 {
+		sort.Ints(s.flagsDirty)
+	}
+	s.activeAdds = s.activeAdds[:0]
+	s.eagerAdds = s.eagerAdds[:0]
+	s.activeRemoved, s.eagerRemoved = false, false
+	s.nrSnapIdx = s.nrSnapIdx[:0]
+	s.nrSnapVal = s.nrSnapVal[:0]
+	resum := s.pendingResum
+	s.pendingResum = false
+	s.inWalk = true
+	const none = int(^uint(0) >> 1)
+	di, ci, ei, fi := 0, 0, 0, 0
+	for {
+		i := none
+		if di < len(dirty) && dirty[di] < i {
+			i = dirty[di]
+		}
+		if ci < len(changed) && changed[ci] < i {
+			i = changed[ci]
+		}
+		if ei < len(s.eagerIdx) && s.eagerIdx[ei] < i {
+			i = s.eagerIdx[ei]
+		}
+		if fi < len(s.flagsDirty) && s.flagsDirty[fi] < i {
+			i = s.flagsDirty[fi]
+		}
+		if i == none {
+			break
+		}
+		touched := false
+		if di < len(dirty) && dirty[di] == i {
+			di++
+			touched = true
+		}
+		for ci < len(changed) && changed[ci] == i {
+			ci++
+			touched = true
+		}
+		eager := false
+		if ei < len(s.eagerIdx) && s.eagerIdx[ei] == i {
+			ei++
+			eager = true
+		}
+		if fi < len(s.flagsDirty) && s.flagsDirty[fi] == i {
+			fi++
+		}
+		s.walkPos = i
+		g := s.groups[i]
+		switch {
+		case touched:
+			if len(g.children) == 0 {
+				resum = true
+				s.snapNr(i, g.runnable)
+			}
+			s.repairAccount(now, i, g, dt, dtSec)
+		case eager:
+			s.snapNr(i, g.runnable)
+			s.gSettled[i] = s.ticks // before OnTick can settle this group
+			if s.tickGroup(now, i, g, dt, dtSec) {
+				resum = true
+			}
+		default: // flag-dirty only
+			if s.refreshQuiet(now, i, g, dt, dtSec) {
+				resum = true
+			}
+		}
+	}
+	s.inWalk = false
+
+	if len(s.activeAdds) > 0 || s.activeRemoved {
+		s.active, s.activeBuf = mergeIdx(s.active, s.activeAdds, s.gAcct, acctActive, s.activeBuf)
+	}
+	if len(s.eagerAdds) > 0 || s.eagerRemoved {
+		s.eagerIdx, s.eagerBuf = mergeIdx(s.eagerIdx, s.eagerAdds, s.gAcct, acctEager, s.eagerBuf)
+	}
+	if resum {
+		// A leaf's rate, runnable count, or throttle flag moved: the
+		// slack and load contribution are ordered sums over the active
+		// leaves, re-derived in full so they stay bit-identical to the
+		// rebuild's. The contribution uses each walked leaf's runnable
+		// count as of its walk visit (snapNr): an OnTick callback that
+		// blocks its task mid-walk must not retroactively change this
+		// tick's sum, exactly as in the rebuild's interleaved
+		// accumulation.
+		s.recomputeUsedSlack()
+		s.recomputeLoadContribSnap()
+	}
+
+	s.dirty = s.dirty[:0]
+	for _, i := range s.flagsDirty {
+		s.gAcct[i].flags &^= acctFlagsDirty
+	}
+	s.flagsDirty = s.flagsDirty[:0]
+	s.repairChanged = changed[:0]
+}
+
+// noteTopMembership records a top-level group entering or leaving the
+// fill set after its cap crossed zero. A leaver's rate is zeroed here
+// (the fill no longer visits it) and the group is queued as changed so
+// the accounting walk retires it from the active set.
+func (s *Scheduler) noteTopMembership(i int) {
+	a := &s.gAcct[i]
+	want := s.gCap[i] > 0
+	if want == (a.flags&acctTop != 0) {
+		return
+	}
+	a.setFlag(acctTop, want)
+	if want {
+		s.topAdds = append(s.topAdds, i)
+		return
+	}
+	s.topRemoved = true
+	if s.gRate[i] != 0 {
+		s.gRate[i] = 0
+		s.repairChanged = append(s.repairChanged, i)
+	}
+}
+
+// repairAccount advances one touched group's accounting for this tick
+// with the exact operation sequence the rebuild's per-group body uses,
+// and maintains the group's membership in the active/eager lists.
+func (s *Scheduler) repairAccount(now sim.Time, i int, g *Group, dt time.Duration, dtSec float64) {
+	rate := s.gRate[i]
+	a := &s.gAcct[i]
+	a.perTask, a.over = 0, 0
+	a.flags &^= acctFlagsDirty
+	s.gSettled[i] = s.ticks
+	if len(g.children) > 0 {
+		thr := false
+		if rate > 0 {
+			raw := units.CPUSeconds(rate * dtSec)
+			a.usage += raw
+			a.windowUsage += raw
+			if lim := g.CPULimit(); !math.IsInf(lim, 1) && rate >= lim-1e-9 {
+				a.throttledDur += dt
+				thr = true
+			}
+		}
+		s.markActive(i, rate > 0)
+		a.setFlag(acctDurBinding, thr)
+		s.noteThrottleTracked(now, i, g, thr, rate)
+		return
+	}
+	if rate <= 0 {
+		a.setFlag(acctDurBinding, false)
+		s.noteThrottleTracked(now, i, g, false, 0)
+		s.markActive(i, false)
+		s.markEager(i, false)
+		return
+	}
+	s.markActive(i, true)
+	raw := units.CPUSeconds(rate * dtSec)
+	a.usage += raw
+	a.windowUsage += raw
+	nr := g.RunnableTasks()
+	throttled := false
+	binding := false
+	if lim := g.CPULimit(); !math.IsInf(lim, 1) && rate >= lim-1e-9 {
+		a.throttledDur += dt
+		throttled = true
+		binding = true
+	}
+	a.setFlag(acctDurBinding, binding)
+	if !throttled && g.parent != nil {
+		if plim := g.parent.CPULimit(); !math.IsInf(plim, 1) && s.gRate[g.parent.schedIdx] >= plim-1e-9 {
+			throttled = true
+		}
+	}
+	s.noteThrottleTracked(now, i, g, throttled, rate)
+	if nr == 0 {
+		s.markEager(i, false)
+		return
+	}
+	perTask := rate / float64(nr)
+	over := float64(nr)/rate - 1
+	if over < 0 {
+		over = 0
+	}
+	a.perTask, a.over = perTask, over
+	// Snapshot: OnTick may mutate runnable state for future ticks.
+	tasks := g.tasks
+	for _, t := range tasks {
+		if !t.runnable {
+			continue
+		}
+		t.LastRate = perTask
+		rawT := units.CPUSeconds(perTask * dtSec)
+		t.Usage += rawT
+		if t.OnTick != nil {
+			eff := 1.0
+			if over > 0 {
+				gamma := g.Gamma
+				if t.Gamma > 0 {
+					gamma = t.Gamma
+				}
+				if gamma > 0 {
+					eff = 1 / (1 + gamma*over)
+				}
+			}
+			t.OnTick(now, units.CPUSeconds(float64(rawT)*eff), rawT)
+		}
+	}
+	// Eager membership is evaluated after the task walk so a callback
+	// that just blocked the last OnTick task leaves the group deferred
+	// (its accounting from here on is pure accrual, which settles).
+	s.markEager(i, g.runnableOnTick > 0)
+}
+
+// snapNr records a walked leaf's runnable count at visit time for the
+// post-walk load-contribution re-sum. Visits are ascending, so the
+// snapshot list stays sorted.
+func (s *Scheduler) snapNr(i, nr int) {
+	s.nrSnapIdx = append(s.nrSnapIdx, i)
+	s.nrSnapVal = append(s.nrSnapVal, nr)
+}
+
+// recomputeLoadContribSnap is recomputeLoadContrib with walk-time
+// runnable counts for the leaves this repair tick walked.
+func (s *Scheduler) recomputeLoadContribSnap() {
+	contrib := 0.0
+	k := 0
+	for _, i := range s.active {
+		g := s.groups[i]
+		if len(g.children) > 0 {
+			continue
+		}
+		rate := s.gRate[i]
+		nr := g.runnable
+		for k < len(s.nrSnapIdx) && s.nrSnapIdx[k] < i {
+			k++
+		}
+		if k < len(s.nrSnapIdx) && s.nrSnapIdx[k] == i {
+			nr = s.nrSnapVal[k]
+		}
+		if s.gAcct[i].flags&acctThrottled != 0 && float64(nr) > rate {
+			contrib += rate
+		} else {
+			contrib += float64(nr)
+		}
+	}
+	s.loadContrib = contrib
+}
+
+// markActive / markEager update a group's membership bit and queue the
+// list patch (ordered merge after the walk).
+func (s *Scheduler) markActive(i int, want bool) {
+	a := &s.gAcct[i]
+	if want == (a.flags&acctActive != 0) {
+		return
+	}
+	a.setFlag(acctActive, want)
+	if want {
+		s.activeAdds = append(s.activeAdds, i)
+	} else {
+		s.activeRemoved = true
+	}
+}
+
+func (s *Scheduler) markEager(i int, want bool) {
+	a := &s.gAcct[i]
+	if want == (a.flags&acctEager != 0) {
+		return
+	}
+	a.setFlag(acctEager, want)
+	if want {
+		s.eagerAdds = append(s.eagerAdds, i)
+	} else {
+		s.eagerRemoved = true
+	}
+}
+
+// recomputeUsedSlack re-derives the slack from the active leaves with
+// the rebuild's ascending ordered sum, so the value stays bit-identical.
+func (s *Scheduler) recomputeUsedSlack() {
+	used := 0.0
+	for _, i := range s.active {
+		if len(s.groups[i].children) > 0 {
+			continue
+		}
+		used += s.gRate[i]
+	}
+	slack := float64(s.ncpu) - used
+	if slack < 1e-6 {
+		slack = 0
+	}
+	s.slackLast = slack
+}
+
+// mergeIdx rebuilds a sorted membership list: entries whose bit was
+// cleared drop out, adds (sorted, bit already set, disjoint from old)
+// merge in. Returns the new list and the old backing array as the next
+// spare buffer — zero allocations once the buffers are warm.
+func mergeIdx(old, adds []int, acct []groupAcct, bit uint16, buf []int) (out, spare []int) {
+	out = buf[:0]
+	j := 0
+	for _, v := range old {
+		for j < len(adds) && adds[j] < v {
+			out = append(out, adds[j])
+			j++
+		}
+		if acct[v].flags&bit != 0 {
+			out = append(out, v)
+		}
+	}
+	for ; j < len(adds); j++ {
+		out = append(out, adds[j])
+	}
+	return out, old[:0]
+}
+
+// patchIdxList drops the removed slot from an index list and shifts the
+// entries RemoveGroup's compaction moved down, preserving order.
+func patchIdxList(list []int, removed int) []int {
+	out := list[:0]
+	for _, v := range list {
+		switch {
+		case v == removed:
+		case v > removed:
+			out = append(out, v-1)
+		default:
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// compactThrottledIdx dedupes the throttled superset list down to the
+// currently flagged groups. Under repair, rebuilds (which reset the
+// list) may never run, so repeated throttle cycles would otherwise grow
+// it without bound.
+func (s *Scheduler) compactThrottledIdx() {
+	sort.Ints(s.throttledIdx)
+	out := s.throttledIdx[:0]
+	prev := -1
+	for _, i := range s.throttledIdx {
+		if i != prev && s.gAcct[i].flags&acctThrottled != 0 {
+			out = append(out, i)
+		}
+		prev = i
+	}
+	s.throttledIdx = out
+}

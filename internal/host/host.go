@@ -89,6 +89,11 @@ type Config struct {
 	// published).
 	NSOptions sysns.Options
 
+	// CFSOptions tunes the CFS fluid scheduler (zero = the eager
+	// rebuild protocol every golden experiment uses; see cfs.Options
+	// for the incremental-repair knob scalebench turns on).
+	CFSOptions cfs.Options
+
 	// EventShards, when positive, switches the cgroup hierarchy to
 	// sharded deferred event dispatch (cgroups.SetShardedDispatch):
 	// churn-storm events append to per-shard FIFO queues and are
@@ -147,7 +152,7 @@ func New(cfg Config) *Host {
 		tick = time.Millisecond
 	}
 	clock := sim.NewClock(tick)
-	sched := cfs.NewScheduler(cfg.CPUs)
+	sched := cfs.NewSchedulerOpts(cfg.CPUs, cfg.CFSOptions)
 	mem := memctl.New(memctl.Config{
 		Total:         cfg.Memory,
 		SwapCapacity:  cfg.SwapCapacity,

@@ -18,6 +18,7 @@ import (
 	"runtime"
 	"time"
 
+	"arv/internal/cfs"
 	"arv/internal/container"
 	"arv/internal/faults"
 	"arv/internal/host"
@@ -65,13 +66,20 @@ type Config struct {
 	// Shards sizes sharded cgroup event dispatch (0 = synchronous
 	// delivery). Defaults to 8 via Defaults.
 	Shards int
+	// Repair enables the scheduler's dirty-set incremental tick repair
+	// (cfs.Options.IncrementalRepair): churn marks groups dirty instead
+	// of invalidating the whole allocation, and quiet groups settle
+	// their accounting on read. Defaults on via Defaults — it is the
+	// mode the BENCH_scale.json trajectory measures; clear it after
+	// Defaults to A/B the eager rebuild path.
+	Repair bool
 }
 
 // Defaults returns the canonical scale configuration for n containers
 // with churn on, as reported in BENCH_scale.json. All duration and size
 // fields are resolved, so callers can read Span/Warmup directly.
 func Defaults(n int) Config {
-	return Config{Containers: n, Churn: true, Batched: true, Shards: 8}.withDefaults()
+	return Config{Containers: n, Churn: true, Batched: true, Shards: 8, Repair: true}.withDefaults()
 }
 
 // withDefaults resolves zero fields.
@@ -119,6 +127,7 @@ func Build(cfg Config) *Bench {
 		Memory:      cfg.Memory,
 		Seed:        cfg.Seed,
 		NSOptions:   sysns.Options{BatchedRecompute: cfg.Batched},
+		CFSOptions:  cfs.Options{IncrementalRepair: cfg.Repair},
 		EventShards: cfg.Shards,
 	})
 	// Pin the view-update interval at the paper's 24ms base period: with
@@ -131,7 +140,7 @@ func Build(cfg Config) *Bench {
 	for i := 0; i < cfg.Containers; i++ {
 		c := h.Runtime.Create(container.Spec{
 			Name:      fmt.Sprintf("c%04d", i),
-			CPUShares: int64(512 + 256*(i%5)),        // 512..1536, five classes
+			CPUShares: int64(512 + 256*(i%5)),         // 512..1536, five classes
 			MemHard:   units.Bytes(1+i%4) * units.GiB, // 1..4 GiB
 			MemSoft:   units.Bytes(1+i%4) * units.GiB / 2,
 		})
@@ -168,6 +177,9 @@ type Result struct {
 	WallMS        float64 `json:"wall_ms"`
 	NsPerSimSec   float64 `json:"ns_per_sim_second"`
 	Ticks         uint64  `json:"sched_ticks"`
+	TickRepairs   uint64  `json:"tick_repairs"`
+	TickRebuilds  uint64  `json:"tick_rebuilds"`
+	Escalations   uint64  `json:"repair_escalations"`
 	NSUpdates     uint64  `json:"ns_updates"`
 	LimitChurns   uint64  `json:"limit_churns"`
 	Allocs        uint64  `json:"allocs"`
@@ -184,6 +196,9 @@ func Run(cfg Config) Result {
 	b.H.Run(cfg.Warmup)
 
 	ticks0 := b.Trace.Count(telemetry.CtrSchedTicks)
+	reps0 := b.Trace.Count(telemetry.CtrTickRepairs)
+	rebs0 := b.Trace.Count(telemetry.CtrTickRebuilds)
+	esc0 := b.Trace.Count(telemetry.CtrRepairEscalations)
 	ups0 := b.Trace.Count(telemetry.CtrNSUpdates)
 	churn0 := b.Trace.Count(telemetry.CtrLimitChurns)
 	var before, after runtime.MemStats
@@ -195,18 +210,21 @@ func Run(cfg Config) Result {
 
 	ticks := b.Trace.Count(telemetry.CtrSchedTicks) - ticks0
 	res := Result{
-		Containers:  cfg.Containers,
-		CPUs:        cfg.CPUs,
-		Churn:       cfg.Churn,
-		ChurnMS:     float64(cfg.ChurnInterval) / float64(time.Millisecond),
-		SimSeconds:  cfg.Span.Seconds(),
-		WallMS:      float64(wall) / float64(time.Millisecond),
-		NsPerSimSec: float64(wall.Nanoseconds()) / cfg.Span.Seconds(),
-		Ticks:       ticks,
-		NSUpdates:   b.Trace.Count(telemetry.CtrNSUpdates) - ups0,
-		LimitChurns: b.Trace.Count(telemetry.CtrLimitChurns) - churn0,
-		Allocs:      after.Mallocs - before.Mallocs,
-		AllocBytes:  after.TotalAlloc - before.TotalAlloc,
+		Containers:   cfg.Containers,
+		CPUs:         cfg.CPUs,
+		Churn:        cfg.Churn,
+		ChurnMS:      float64(cfg.ChurnInterval) / float64(time.Millisecond),
+		SimSeconds:   cfg.Span.Seconds(),
+		WallMS:       float64(wall) / float64(time.Millisecond),
+		NsPerSimSec:  float64(wall.Nanoseconds()) / cfg.Span.Seconds(),
+		Ticks:        ticks,
+		TickRepairs:  b.Trace.Count(telemetry.CtrTickRepairs) - reps0,
+		TickRebuilds: b.Trace.Count(telemetry.CtrTickRebuilds) - rebs0,
+		Escalations:  b.Trace.Count(telemetry.CtrRepairEscalations) - esc0,
+		NSUpdates:    b.Trace.Count(telemetry.CtrNSUpdates) - ups0,
+		LimitChurns:  b.Trace.Count(telemetry.CtrLimitChurns) - churn0,
+		Allocs:       after.Mallocs - before.Mallocs,
+		AllocBytes:   after.TotalAlloc - before.TotalAlloc,
 	}
 	if ticks > 0 {
 		res.AllocsPerTick = float64(res.Allocs) / float64(ticks)

@@ -196,6 +196,16 @@ const (
 	// CtrAutoscaleBankSpentMS accumulates the quota-bank CPU-milliseconds
 	// the banked policy spent on bursts.
 	CtrAutoscaleBankSpentMS
+	// CtrTickRepairs / CtrTickRebuilds count how allocation-stale
+	// scheduler ticks were served: by the dirty-set incremental repair
+	// or by a full O(groups) rebuild. Their ratio is the repair hit
+	// rate scalebench reports.
+	CtrTickRepairs
+	CtrTickRebuilds
+	// CtrRepairEscalations counts repairs abandoned because the dirty
+	// set crossed the escalation threshold (≥ half the active list),
+	// falling back to one full rebuild.
+	CtrRepairEscalations
 
 	numCounters
 )
@@ -259,6 +269,12 @@ func (c Counter) String() string {
 		return "autoscaler.clamped"
 	case CtrAutoscaleBankSpentMS:
 		return "autoscaler.bank_spent_ms"
+	case CtrTickRepairs:
+		return "cfs.tick_repairs"
+	case CtrTickRebuilds:
+		return "cfs.tick_rebuilds"
+	case CtrRepairEscalations:
+		return "cfs.repair_escalations"
 	default:
 		return fmt.Sprintf("Counter(%d)", int(c))
 	}

@@ -11,14 +11,17 @@
 //	go run ./internal/tools/benchgate -match ScaleSteady -max-allocs 0 out.txt
 //
 // Regression mode (-scale-baseline) compares a freshly generated
-// BENCH_scale.json document against the committed one: it finds the
-// -scale-n container-count row in both and fails if the fresh
-// ns_per_sim_second exceeds the baseline by more than -max-regress
-// (a fraction; 0.25 = 25% slower). A missing row on either side is a
+// BENCH_scale.json document against the committed one: for every
+// container count in the comma-separated -scale-n list it finds that
+// row in both documents and fails if the fresh ns_per_sim_second
+// exceeds the baseline by more than -max-regress (a fraction; 0.25 =
+// 25% slower), or if allocs_per_tick drifts above the baseline by more
+// than -max-alloc-drift plus a small absolute slack (rows near zero
+// would otherwise gate on noise). A missing row on either side is a
 // failure for the same reason as above. See `make bench-gate`.
 //
-//	go run ./cmd/arvbench -scalebench 1024 -scalebench-reps 3 -json fresh.json
-//	go run ./internal/tools/benchgate -scale-baseline BENCH_scale.json -scale-fresh fresh.json -scale-n 1024 -max-regress 0.25
+//	go run ./cmd/arvbench -scalebench 1024,16384 -scalebench-reps 3 -json fresh.json
+//	go run ./internal/tools/benchgate -scale-baseline BENCH_scale.json -scale-fresh fresh.json -scale-n 1024,16384 -max-regress 0.25
 package main
 
 import (
@@ -38,59 +41,112 @@ import (
 var resultLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+.*?(\d+)\s+allocs/op`)
 
 // scaleDoc is the slice of BENCH_scale.json the regression gate reads:
-// the container count keys the row, ns_per_sim_second is the budgeted
-// quantity.
+// the container count keys the row; ns_per_sim_second and
+// allocs_per_tick are the budgeted quantities.
 type scaleDoc struct {
-	Runs []struct {
-		Containers  int     `json:"containers"`
-		NsPerSimSec float64 `json:"ns_per_sim_second"`
-	} `json:"runs"`
+	Runs []scaleRow `json:"runs"`
 }
 
-// nsPerSimSec loads path and returns the ns_per_sim_second of the row
-// with the given container count.
-func nsPerSimSec(path string, n int) (float64, error) {
+// scaleRow is one gated BENCH_scale.json row.
+type scaleRow struct {
+	Containers    int     `json:"containers"`
+	NsPerSimSec   float64 `json:"ns_per_sim_second"`
+	AllocsPerTick float64 `json:"allocs_per_tick"`
+}
+
+// loadScaleDoc reads and parses one BENCH_scale.json document.
+func loadScaleDoc(path string) (scaleDoc, error) {
+	var doc scaleDoc
 	buf, err := os.ReadFile(path)
 	if err != nil {
-		return 0, err
+		return doc, err
 	}
-	var doc scaleDoc
 	if err := json.Unmarshal(buf, &doc); err != nil {
-		return 0, fmt.Errorf("%s: %v", path, err)
+		return doc, fmt.Errorf("%s: %v", path, err)
 	}
-	for _, r := range doc.Runs {
+	return doc, nil
+}
+
+// row returns the run with the given container count.
+func (d scaleDoc) row(path string, n int) (scaleRow, error) {
+	for _, r := range d.Runs {
 		if r.Containers == n {
-			return r.NsPerSimSec, nil
+			return r, nil
 		}
 	}
-	return 0, fmt.Errorf("%s: no run with containers=%d", path, n)
+	return scaleRow{}, fmt.Errorf("%s: no run with containers=%d", path, n)
+}
+
+// allocSlack is the absolute allocs/tick headroom granted on top of the
+// fractional -max-alloc-drift budget. Small-n rows sit well under one
+// alloc per tick, where a pure ratio would turn scheduler-independent
+// noise (timer ring growth, map rehashes) into gate failures.
+const allocSlack = 0.5
+
+// parseNList parses the comma-separated -scale-n value.
+func parseNList(s string) ([]int, error) {
+	var ns []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad -scale-n entry %q", f)
+		}
+		ns = append(ns, n)
+	}
+	return ns, nil
 }
 
 // gateScaleRegression is regression mode: fresh vs committed
-// ns_per_sim_second at one container count.
-func gateScaleRegression(baseline, fresh string, n int, maxRegress float64) {
-	base, err := nsPerSimSec(baseline, n)
-	if err != nil {
+// ns_per_sim_second and allocs_per_tick at each listed container count.
+// All rows are checked before exiting so one run reports every breach.
+func gateScaleRegression(baseline, fresh string, ns []int, maxRegress, maxAllocDrift float64) {
+	fatal := func(err error) {
 		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
 		os.Exit(2)
 	}
-	cur, err := nsPerSimSec(fresh, n)
+	bdoc, err := loadScaleDoc(baseline)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
-		os.Exit(2)
+		fatal(err)
 	}
-	if base <= 0 {
-		fmt.Fprintf(os.Stderr, "benchgate: %s: non-positive baseline ns_per_sim_second %.0f\n", baseline, base)
-		os.Exit(2)
+	fdoc, err := loadScaleDoc(fresh)
+	if err != nil {
+		fatal(err)
 	}
-	ratio := cur / base
-	if ratio > 1+maxRegress {
-		fmt.Fprintf(os.Stderr, "benchgate: scale n=%d regressed: %.0f ns/sim-s vs baseline %.0f (%.0f%% slower, max %.0f%%)\n",
-			n, cur, base, (ratio-1)*100, maxRegress*100)
+	failed := false
+	for _, n := range ns {
+		base, err := bdoc.row(baseline, n)
+		if err != nil {
+			fatal(err)
+		}
+		cur, err := fdoc.row(fresh, n)
+		if err != nil {
+			fatal(err)
+		}
+		if base.NsPerSimSec <= 0 {
+			fatal(fmt.Errorf("%s: non-positive baseline ns_per_sim_second %.0f", baseline, base.NsPerSimSec))
+		}
+		ratio := cur.NsPerSimSec / base.NsPerSimSec
+		if ratio > 1+maxRegress {
+			failed = true
+			fmt.Fprintf(os.Stderr, "benchgate: scale n=%d regressed: %.0f ns/sim-s vs baseline %.0f (%.0f%% slower, max %.0f%%)\n",
+				n, cur.NsPerSimSec, base.NsPerSimSec, (ratio-1)*100, maxRegress*100)
+		} else {
+			fmt.Printf("benchgate: scale n=%d within budget: %.0f ns/sim-s vs baseline %.0f (%+.0f%%, max +%.0f%%)\n",
+				n, cur.NsPerSimSec, base.NsPerSimSec, (ratio-1)*100, maxRegress*100)
+		}
+		allocMax := base.AllocsPerTick*(1+maxAllocDrift) + allocSlack
+		if cur.AllocsPerTick > allocMax {
+			failed = true
+			fmt.Fprintf(os.Stderr, "benchgate: scale n=%d allocs/tick drifted: %.2f vs baseline %.2f (max %.2f)\n",
+				n, cur.AllocsPerTick, base.AllocsPerTick, allocMax)
+		} else {
+			fmt.Printf("benchgate: scale n=%d allocs/tick within budget: %.2f vs baseline %.2f (max %.2f)\n",
+				n, cur.AllocsPerTick, base.AllocsPerTick, allocMax)
+		}
+	}
+	if failed {
 		os.Exit(1)
 	}
-	fmt.Printf("benchgate: scale n=%d within budget: %.0f ns/sim-s vs baseline %.0f (%+.0f%%, max +%.0f%%)\n",
-		n, cur, base, (ratio-1)*100, maxRegress*100)
 }
 
 func main() {
@@ -100,8 +156,9 @@ func main() {
 
 		scaleBaseline = flag.String("scale-baseline", "", "committed BENCH_scale.json; selects regression mode")
 		scaleFresh    = flag.String("scale-fresh", "", "freshly generated BENCH_scale.json to gate (regression mode)")
-		scaleN        = flag.Int("scale-n", 1024, "container count whose row is compared (regression mode)")
+		scaleN        = flag.String("scale-n", "1024", "comma-separated container counts whose rows are compared (regression mode)")
 		maxRegress    = flag.Float64("max-regress", 0.25, "maximum permitted ns_per_sim_second regression as a fraction of baseline (regression mode)")
+		maxAllocDrift = flag.Float64("max-alloc-drift", 0.25, "maximum permitted allocs_per_tick drift as a fraction of baseline, plus 0.5 allocs/tick absolute slack (regression mode)")
 	)
 	flag.Parse()
 	if *scaleBaseline != "" {
@@ -109,7 +166,12 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchgate: -scale-baseline requires -scale-fresh")
 			os.Exit(2)
 		}
-		gateScaleRegression(*scaleBaseline, *scaleFresh, *scaleN, *maxRegress)
+		ns, err := parseNList(*scaleN)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(2)
+		}
+		gateScaleRegression(*scaleBaseline, *scaleFresh, ns, *maxRegress, *maxAllocDrift)
 		return
 	}
 	if *match == "" {
